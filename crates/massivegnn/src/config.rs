@@ -1,0 +1,114 @@
+//! Prefetcher configuration — the paper's tunables (Table I).
+
+/// Which `S_A` memory layout to use (§IV-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScoreLayout {
+    /// `O(|V|)` array indexed by global node id; `O(1)` updates. The
+    /// default for all inputs except papers in the paper's experiments.
+    Dense,
+    /// `O(|V_p^h|)` scores over the sorted halo list; `O(log |V_p^h|)`
+    /// binary-search updates. Used for papers100M.
+    MemEfficient,
+}
+
+/// All prefetch/eviction parameters (paper Table I, §IV).
+#[derive(Debug, Clone, Copy)]
+pub struct PrefetchConfig {
+    /// `f_p^h`: fraction of the partition's halo nodes to prefetch at
+    /// initialization (buffer capacity). Paper sweeps {0.15, 0.25, 0.35,
+    /// 0.5} (plus 0.85/0.95 for papers at large scale).
+    pub f_h: f64,
+    /// `γ`: eviction-score decay per unsampled minibatch. Paper sweeps
+    /// {0.95, 0.995, 0.9995}; γ→1 is low decay.
+    pub gamma: f64,
+    /// `Δ`: eviction interval in minibatch steps. Paper sweeps 16–1024.
+    pub delta: usize,
+    /// Enable the Δ-periodic evict-and-replace pass ("prefetch with
+    /// eviction" vs "prefetch without eviction", §V-A).
+    pub eviction: bool,
+    /// `S_A` layout.
+    pub layout: ScoreLayout,
+    /// Look-ahead depth of the next-minibatch queue (the paper uses 1).
+    pub lookahead: usize,
+}
+
+impl Default for PrefetchConfig {
+    fn default() -> Self {
+        PrefetchConfig {
+            f_h: 0.25,
+            gamma: 0.995,
+            delta: 64,
+            eviction: true,
+            layout: ScoreLayout::Dense,
+            lookahead: 1,
+        }
+    }
+}
+
+impl PrefetchConfig {
+    /// The Eq. 1 eviction threshold `α = S_E(init) · γ^Δ` with
+    /// `S_E(init) = 1`.
+    pub fn alpha(&self) -> f64 {
+        self.gamma.powi(self.delta as i32)
+    }
+
+    /// Validate ranges; returns a description of the first problem.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.f_h) {
+            return Err(format!("f_h {} out of [0,1]", self.f_h));
+        }
+        if !(0.0..=1.0).contains(&self.gamma) {
+            return Err(format!("gamma {} out of [0,1]", self.gamma));
+        }
+        if self.eviction && self.delta == 0 {
+            return Err("delta must be >= 1 when eviction is enabled".into());
+        }
+        if self.lookahead == 0 {
+            return Err("lookahead must be >= 1".into());
+        }
+        Ok(())
+    }
+
+    /// Disable eviction (the paper's "prefetch without eviction" variant).
+    pub fn without_eviction(mut self) -> Self {
+        self.eviction = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alpha_matches_eq1() {
+        let c = PrefetchConfig {
+            gamma: 0.95,
+            delta: 10,
+            ..Default::default()
+        };
+        assert!((c.alpha() - 0.95f64.powi(10)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_is_valid() {
+        assert!(PrefetchConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_ranges() {
+        let mut c = PrefetchConfig::default();
+        c.f_h = 1.5;
+        assert!(c.validate().is_err());
+        c = PrefetchConfig::default();
+        c.gamma = -0.1;
+        assert!(c.validate().is_err());
+        c = PrefetchConfig::default();
+        c.delta = 0;
+        assert!(c.validate().is_err());
+        c = c.without_eviction();
+        assert!(c.validate().is_ok(), "delta=0 fine without eviction");
+        c.lookahead = 0;
+        assert!(c.validate().is_err());
+    }
+}

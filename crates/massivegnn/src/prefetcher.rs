@@ -1,0 +1,420 @@
+//! `PREFETCH_WITH_EVICTION` — Algorithm 2 of the paper.
+//!
+//! Per minibatch the prefetcher: samples the neighborhood, splits it into
+//! local (`V_p^{l|s}`) and halo (`V_p^{h|s}`) nodes, probes the buffer for
+//! hits/misses, decays `S_E` of unsampled buffered nodes, increments `S_A`
+//! of missed nodes (overlapped with the miss RPC in spirit — here the
+//! scoring cost is charged to the model the same way), fetches miss
+//! features over RPC, and on every Δ-th step runs `EVICT_AND_REPLACE`:
+//! buffered slots with `S_E < α` are evicted and replaced by the
+//! equally-many highest-`S_A` missing halo nodes, swapping scores.
+
+use crate::buffer::PrefetchBuffer;
+use crate::config::{PrefetchConfig, ScoreLayout};
+use crate::scoreboard::{AccessScores, EvictionScores};
+use mgnn_graph::NodeId;
+use mgnn_net::{CommMetrics, CostModel, SimCluster};
+use mgnn_partition::LocalPartition;
+use mgnn_sampling::{NeighborSampler, SampledMinibatch};
+use mgnn_tensor::Tensor;
+
+/// Modeled time breakdown of one minibatch preparation (Eq. 3 terms).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PrepareTiming {
+    /// Neighbor sampling.
+    pub t_sampling: f64,
+    /// Buffer membership probes.
+    pub t_lookup: f64,
+    /// Scoreboard maintenance (decay + miss increments).
+    pub t_scoring: f64,
+    /// Eviction-round overhead (candidate scan), nonzero on Δ steps.
+    pub t_evict: f64,
+    /// Remote feature fetch (misses + replacements).
+    pub t_rpc: f64,
+    /// Local feature gather.
+    pub t_copy: f64,
+}
+
+impl PrepareTiming {
+    /// Eq. 3: `t_prepare = t_sampling + t_lookup + t_scoring (+ eviction)
+    /// + max(t_RPC, t_copy)`.
+    pub fn t_prepare(&self) -> f64 {
+        self.t_sampling + self.t_lookup + self.t_scoring + self.t_evict + self.t_rpc.max(self.t_copy)
+    }
+}
+
+/// Exact event counts of one preparation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PrepareCounts {
+    /// Local nodes in the sampled minibatch (`|V_p^{l|s}|`).
+    pub local: usize,
+    /// Halo nodes in the sampled minibatch (`|V_p^{h|s}|`).
+    pub halo: usize,
+    /// Buffer hits.
+    pub hits: usize,
+    /// Buffer misses.
+    pub misses: usize,
+    /// Nodes evicted this step.
+    pub evicted: usize,
+    /// Replacement nodes fetched this step.
+    pub replaced: usize,
+}
+
+/// A minibatch ready for training: blocks + gathered input features +
+/// labels, with the timing/counts of its preparation.
+#[derive(Debug, Clone)]
+pub struct PreparedBatch {
+    /// The sampled structure.
+    pub minibatch: SampledMinibatch,
+    /// Input features aligned with `minibatch.input_nodes`.
+    pub input: Tensor,
+    /// Labels of the seed nodes.
+    pub labels: Vec<u32>,
+    /// Modeled preparation time breakdown.
+    pub timing: PrepareTiming,
+    /// Exact event counts.
+    pub counts: PrepareCounts,
+}
+
+/// Per-trainer prefetcher state (`BUF_p^i`, `S_E`, `S_A`).
+pub struct Prefetcher {
+    /// Configuration in force.
+    pub cfg: PrefetchConfig,
+    /// The feature buffer.
+    pub buffer: PrefetchBuffer,
+    /// Per-slot eviction scores.
+    pub s_e: EvictionScores,
+    /// Per-halo access scores.
+    pub s_a: AccessScores,
+    alpha: f64,
+    /// Stamp array marking which halo indices were sampled this step.
+    sampled_stamp: Vec<u64>,
+    current_stamp: u64,
+    /// Transient bytes high-water mark (eviction scratch), for Fig. 14.
+    peak_transient_bytes: usize,
+}
+
+impl Prefetcher {
+    /// Construct with an already-populated buffer and scoreboards (see
+    /// [`crate::init::initialize_prefetcher`] for the Algorithm 1 path).
+    pub fn from_parts(
+        cfg: PrefetchConfig,
+        buffer: PrefetchBuffer,
+        s_e: EvictionScores,
+        s_a: AccessScores,
+        num_halo: usize,
+    ) -> Self {
+        let alpha = cfg.alpha();
+        Prefetcher {
+            cfg,
+            buffer,
+            s_e,
+            s_a,
+            alpha,
+            sampled_stamp: vec![0; num_halo],
+            current_stamp: 0,
+            peak_transient_bytes: 0,
+        }
+    }
+
+    /// The Eq. 1 threshold in force.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Persistent heap bytes (buffer + scoreboards + stamp array).
+    pub fn heap_bytes(&self) -> usize {
+        self.buffer.heap_bytes()
+            + self.s_e.heap_bytes()
+            + self.s_a.heap_bytes()
+            + self.sampled_stamp.len() * 8
+    }
+
+    /// Peak transient allocation observed during eviction rounds.
+    pub fn peak_transient_bytes(&self) -> usize {
+        self.peak_transient_bytes
+    }
+
+    /// Sample and prepare one minibatch (Algorithm 2). `step` is the
+    /// *global* minibatch counter (continuous across epochs — the scheme
+    /// is continuous).
+    #[allow(clippy::too_many_arguments)]
+    pub fn prepare(
+        &mut self,
+        part: &LocalPartition,
+        sampler: &NeighborSampler,
+        seeds: &[u32],
+        epoch: u64,
+        step: u64,
+        cluster: &SimCluster,
+        cost: &CostModel,
+        metrics: &CommMetrics,
+    ) -> PreparedBatch {
+        let num_local = part.num_local();
+        let dim = cluster.dim();
+
+        // Line 1: sample the neighborhood.
+        let mb = sampler.sample(part, seeds, epoch, step);
+        let t_sampling = cost.t_sampling(mb.total_edges());
+
+        // Lines 2–3: split local / halo.
+        let (local_ids, halo_ids) = mb.split_local_halo(num_local);
+
+        // Lines 4–5: hits and misses. Mark sampled halo indices with a
+        // stamp so the decay pass below is O(buffer) without a set.
+        self.current_stamp += 1;
+        let stamp = self.current_stamp;
+        let mut halo_idx: Vec<u32> = Vec::with_capacity(halo_ids.len());
+        for &lid in &halo_ids {
+            let h = lid - num_local as u32;
+            self.sampled_stamp[h as usize] = stamp;
+            halo_idx.push(h);
+        }
+        let (hits, misses) = self.buffer.probe_batch(&halo_idx);
+        let t_lookup = cost.t_lookup(halo_ids.len() + self.buffer.len());
+
+        // Lines 6–9: decay S_E of buffered nodes not sampled this step;
+        // a sampled (hit) node's score returns to the initial 1 (paper
+        // Fig. 4 shows used nodes back at score 1 — without the reset,
+        // every node's lifetime idle budget is finite and even hot nodes
+        // churn out, which contradicts the paper's observed hit-rate
+        // growth).
+        let mut decayed = 0usize;
+        for (slot, h) in self.buffer.occupied().collect::<Vec<_>>() {
+            if self.sampled_stamp[h as usize] != stamp {
+                self.s_e.decay(slot, self.cfg.gamma);
+                decayed += 1;
+            } else {
+                self.s_e.reset(slot);
+            }
+        }
+
+        // Line 21: S_A increments for misses (batched; the memory-
+        // efficient layout binary-searches in parallel, §IV-B).
+        let halo_nodes = &part.halo_nodes;
+        let miss_globals: Vec<NodeId> = misses.iter().map(|&h| halo_nodes[h as usize]).collect();
+        self.s_a.increment_batch(halo_nodes, &miss_globals);
+        let mem_eff = self.cfg.layout == ScoreLayout::MemEfficient;
+        let t_scoring = cost.t_scoring(decayed + misses.len(), mem_eff, part.num_halo());
+
+        // Map miss halo idx -> row in the bulk fetch payload.
+        let mut miss_row: std::collections::HashMap<u32, usize> =
+            std::collections::HashMap::with_capacity(misses.len());
+        for (i, &h) in misses.iter().enumerate() {
+            miss_row.insert(h, i);
+        }
+
+        // Lines 12–17: Δ-periodic evict-and-replace.
+        let mut t_evict = 0.0;
+        let mut evicted_count = 0usize;
+        let mut replacements: Vec<(u32, u32)> = Vec::new(); // (slot, new halo idx)
+        if self.cfg.eviction && self.cfg.delta > 0 && step > 0 && step % self.cfg.delta as u64 == 0
+        {
+            // Hits were copied out of the buffer (line 11) before eviction;
+            // protecting their slots keeps that copy semantics without
+            // materializing it, and avoids evicting a node the sampler is
+            // using this very minibatch.
+            let mut protect: Vec<u32> = hits
+                .iter()
+                .filter_map(|&h| self.buffer.slot_of(h))
+                .collect();
+            protect.sort_unstable();
+            let evict_slots = self.s_e.below_threshold(self.alpha, &protect);
+            // Replacement candidates: non-buffered halo nodes with S_A > 0.
+            let buffer = &self.buffer;
+            let s_a = &self.s_a;
+            let candidates = (0..part.num_halo() as u32).filter(|&h| !buffer.contains(h));
+            let replace_globals = s_a.top_k_candidates(
+                halo_nodes,
+                candidates.map(|h| halo_nodes[h as usize]),
+                evict_slots.len(),
+                |g| {
+                    let h = halo_nodes.binary_search(&g).unwrap();
+                    part.halo_degree[h]
+                },
+            );
+            let k = evict_slots.len().min(replace_globals.len());
+            for i in 0..k {
+                let slot = evict_slots[i];
+                let new_g = replace_globals[i];
+                let new_h = halo_nodes.binary_search(&new_g).unwrap() as u32;
+                replacements.push((slot, new_h));
+            }
+            evicted_count = k;
+            // Eviction-round overhead: scan every slot plus every halo
+            // candidate (the "extra work" of §IV-E).
+            t_evict = cost.t_lookup(self.buffer.capacity() + part.num_halo());
+            let transient = evict_slots.len() * 4 + replace_globals.len() * 8;
+            self.peak_transient_bytes = self.peak_transient_bytes.max(transient);
+            metrics.record_eviction(k as u64, k as u64);
+        }
+
+        // Lines 15 + 22: one bulk fetch of miss + replacement features.
+        // A replacement that is also a miss this step reuses the miss row
+        // (DistDGL's bulk pull deduplicates node ids the same way).
+        let mut fetch_ids: Vec<NodeId> =
+            misses.iter().map(|&h| halo_nodes[h as usize]).collect();
+        // Row in `fetched` for each replacement.
+        let mut replacement_rows: Vec<usize> = Vec::with_capacity(replacements.len());
+        for &(_, new_h) in &replacements {
+            if let Some(&r) = miss_row.get(&new_h) {
+                replacement_rows.push(r);
+            } else {
+                replacement_rows.push(fetch_ids.len());
+                fetch_ids.push(halo_nodes[new_h as usize]);
+            }
+        }
+        let (fetched, _rpc_rounds) = cluster.pull_grouped(&fetch_ids);
+        let t_rpc = cost.t_rpc(fetch_ids.len(), dim);
+        metrics.record_rpc(fetch_ids.len() as u64, dim);
+        metrics.record_lookup(hits.len() as u64, misses.len() as u64);
+
+        // Lines 16–17 + score swap (§IV-B): install replacements.
+        for (i, &(slot, new_h)) in replacements.iter().enumerate() {
+            let r = replacement_rows[i];
+            let feat = &fetched[r * dim..(r + 1) * dim];
+            let old_h = self.buffer.replace(slot, new_h, feat);
+            let old_g = halo_nodes[old_h as usize];
+            let new_g = halo_nodes[new_h as usize];
+            // Swap: evicted node's new S_A ← its last S_E;
+            // replacement's new S_E ← its last S_A; then mark buffered.
+            let last_se = self.s_e.get(slot);
+            let last_sa = self.s_a.get(halo_nodes, new_g) as f64;
+            self.s_a.set(halo_nodes, old_g, last_se as f32);
+            self.s_e.set(slot, last_sa);
+            self.s_a.set(halo_nodes, new_g, -1.0);
+        }
+
+        // Assemble input features in input-node order: local rows from the
+        // partition's own KVStore, halo hits from the buffer, halo misses
+        // from the fetched payload.
+        let local_store = cluster.store(part.part_id);
+        let mut input = Vec::with_capacity(mb.input_nodes.len() * dim);
+        for &lid in &mb.input_nodes {
+            if (lid as usize) < num_local {
+                input.extend_from_slice(local_store.row(part.local_nodes[lid as usize]));
+            } else {
+                let h = lid - num_local as u32;
+                if let Some(slot) = self.buffer.slot_of(h) {
+                    // Careful: a replacement installed *this step* occupies
+                    // a slot but was fetched fresh; either path yields the
+                    // same bytes.
+                    input.extend_from_slice(self.buffer.row(slot));
+                } else {
+                    let r = miss_row[&h];
+                    input.extend_from_slice(&fetched[r * dim..(r + 1) * dim]);
+                }
+            }
+        }
+        let t_copy = cost.t_copy(local_ids.len(), dim);
+        metrics.record_local_copy(local_ids.len() as u64);
+
+        let labels: Vec<u32> = mb
+            .seeds
+            .iter()
+            .map(|&lid| local_store.label(part.local_nodes[lid as usize]))
+            .collect();
+
+        let counts = PrepareCounts {
+            local: local_ids.len(),
+            halo: halo_ids.len(),
+            hits: hits.len(),
+            misses: misses.len(),
+            evicted: evicted_count,
+            replaced: replacements.len(),
+        };
+        let timing = PrepareTiming {
+            t_sampling,
+            t_lookup,
+            t_scoring,
+            t_evict,
+            t_rpc,
+            t_copy,
+        };
+        let input = Tensor::from_vec(mb.input_nodes.len(), dim, input);
+        PreparedBatch {
+            minibatch: mb,
+            input,
+            labels,
+            timing,
+            counts,
+        }
+    }
+}
+
+/// Baseline DistDGL preparation (Eq. 2): sample, fetch *all* sampled halo
+/// features over RPC, gather local features — no buffer, no scoreboards.
+#[allow(clippy::too_many_arguments)]
+pub fn baseline_prepare(
+    part: &LocalPartition,
+    sampler: &NeighborSampler,
+    seeds: &[u32],
+    epoch: u64,
+    step: u64,
+    cluster: &SimCluster,
+    cost: &CostModel,
+    metrics: &CommMetrics,
+) -> PreparedBatch {
+    let num_local = part.num_local();
+    let dim = cluster.dim();
+    let mb = sampler.sample(part, seeds, epoch, step);
+    let t_sampling = cost.t_sampling(mb.total_edges());
+    let (local_ids, halo_ids) = mb.split_local_halo(num_local);
+
+    let fetch_ids: Vec<NodeId> = halo_ids
+        .iter()
+        .map(|&lid| part.halo_nodes[(lid - num_local as u32) as usize])
+        .collect();
+    let (fetched, _) = cluster.pull_grouped(&fetch_ids);
+    let t_rpc = cost.t_rpc(fetch_ids.len(), dim);
+    metrics.record_rpc(fetch_ids.len() as u64, dim);
+
+    let local_store = cluster.store(part.part_id);
+    let mut halo_row: std::collections::HashMap<u32, usize> =
+        std::collections::HashMap::with_capacity(halo_ids.len());
+    for (i, &lid) in halo_ids.iter().enumerate() {
+        halo_row.insert(lid, i);
+    }
+    let mut input = Vec::with_capacity(mb.input_nodes.len() * dim);
+    for &lid in &mb.input_nodes {
+        if (lid as usize) < num_local {
+            input.extend_from_slice(local_store.row(part.local_nodes[lid as usize]));
+        } else {
+            let r = halo_row[&lid];
+            input.extend_from_slice(&fetched[r * dim..(r + 1) * dim]);
+        }
+    }
+    let t_copy = cost.t_copy(local_ids.len(), dim);
+    metrics.record_local_copy(local_ids.len() as u64);
+
+    let labels: Vec<u32> = mb
+        .seeds
+        .iter()
+        .map(|&lid| local_store.label(part.local_nodes[lid as usize]))
+        .collect();
+
+    let counts = PrepareCounts {
+        local: local_ids.len(),
+        halo: halo_ids.len(),
+        hits: 0,
+        misses: halo_ids.len(),
+        evicted: 0,
+        replaced: 0,
+    };
+    let timing = PrepareTiming {
+        t_sampling,
+        t_lookup: 0.0,
+        t_scoring: 0.0,
+        t_evict: 0.0,
+        t_rpc,
+        t_copy,
+    };
+    let input = Tensor::from_vec(mb.input_nodes.len(), dim, input);
+    PreparedBatch {
+        minibatch: mb,
+        input,
+        labels,
+        timing,
+        counts,
+    }
+}

@@ -1,0 +1,364 @@
+//! The dual scoreboards of §IV-B.
+//!
+//! * **Eviction scores `S_E`** live per buffer slot ([`EvictionScores`]):
+//!   initialized to 1 for every prefetched node, multiplied by the decay
+//!   `γ` each minibatch the node goes unsampled.
+//! * **Access scores `S_A`** ([`AccessScores`]) track, per *non-buffered*
+//!   halo node, how often the sampler wanted it but missed: +1 per miss.
+//!   Buffered nodes carry the sentinel −1. Two layouts, exactly as the
+//!   paper describes: a dense `O(|V|)` array indexed by global node id
+//!   (`O(1)` updates), and a memory-efficient `O(|V_p^h|)` array over the
+//!   partition's sorted halo list with `O(log |V_p^h|)` binary-search
+//!   addressing (the halo list itself already lives in the
+//!   [`mgnn_partition::LocalPartition`] and is passed in per call, so the
+//!   memory-efficient layout allocates only the score array).
+
+use crate::config::ScoreLayout;
+use mgnn_graph::NodeId;
+
+/// Per-slot eviction scores, aligned with the prefetch buffer's slots.
+#[derive(Debug, Clone)]
+pub struct EvictionScores {
+    scores: Vec<f64>,
+}
+
+impl EvictionScores {
+    /// All slots start at the paper's initial score of 1.
+    pub fn new(capacity: usize) -> Self {
+        EvictionScores {
+            scores: vec![1.0; capacity],
+        }
+    }
+
+    /// Score of `slot`.
+    #[inline]
+    pub fn get(&self, slot: u32) -> f64 {
+        self.scores[slot as usize]
+    }
+
+    /// Overwrite `slot` (used by the swap on replacement).
+    #[inline]
+    pub fn set(&mut self, slot: u32, v: f64) {
+        self.scores[slot as usize] = v;
+    }
+
+    /// Decay `slot` by `γ` (node unsampled this minibatch).
+    #[inline]
+    pub fn decay(&mut self, slot: u32, gamma: f64) {
+        self.scores[slot as usize] *= gamma;
+    }
+
+    /// Reset `slot` to the initial score 1.
+    #[inline]
+    pub fn reset(&mut self, slot: u32) {
+        self.scores[slot as usize] = 1.0;
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.scores.len()
+    }
+
+    /// Whether there are no slots.
+    pub fn is_empty(&self) -> bool {
+        self.scores.is_empty()
+    }
+
+    /// Slots whose score has dropped strictly below `alpha`
+    /// (Algorithm 2 line 28), in ascending score order (evict the least
+    /// useful first). Slots listed in `protect` (sorted) are skipped —
+    /// nodes sampled in the current minibatch have already had their
+    /// features copied out per Algorithm 2 line 11, and evicting a node
+    /// the sampler is actively using would immediately re-fetch it.
+    pub fn below_threshold(&self, alpha: f64, protect: &[u32]) -> Vec<u32> {
+        let mut v: Vec<u32> = (0..self.scores.len() as u32)
+            .filter(|&s| self.scores[s as usize] < alpha && protect.binary_search(&s).is_err())
+            .collect();
+        v.sort_by(|&a, &b| {
+            self.scores[a as usize]
+                .partial_cmp(&self.scores[b as usize])
+                .unwrap()
+        });
+        v
+    }
+
+    /// Heap bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.scores.len() * 8
+    }
+}
+
+/// Access scores over halo nodes, in either paper layout.
+///
+/// Every accessor takes the partition's sorted `halo_nodes` slice; the
+/// dense layout ignores it (direct global-id indexing), the
+/// memory-efficient layout binary-searches it.
+#[derive(Debug, Clone)]
+pub enum AccessScores {
+    /// `O(|V|)` global-id-indexed array.
+    Dense {
+        /// Score per global node id (only halo entries are meaningful).
+        scores: Vec<f32>,
+    },
+    /// `O(|V_p^h|)` scores aligned with the partition's sorted halo list.
+    MemEfficient {
+        /// Scores aligned with `halo_nodes`.
+        scores: Vec<f32>,
+    },
+}
+
+impl AccessScores {
+    /// Build for a partition: `num_global` total nodes, `num_halo` halo
+    /// nodes. Initial scores are 0 (the prefetcher then marks buffered
+    /// nodes −1).
+    pub fn new(layout: ScoreLayout, num_global: usize, num_halo: usize) -> Self {
+        match layout {
+            ScoreLayout::Dense => AccessScores::Dense {
+                scores: vec![0.0; num_global],
+            },
+            ScoreLayout::MemEfficient => AccessScores::MemEfficient {
+                scores: vec![0.0; num_halo],
+            },
+        }
+    }
+
+    /// Which layout this is.
+    pub fn layout(&self) -> ScoreLayout {
+        match self {
+            AccessScores::Dense { .. } => ScoreLayout::Dense,
+            AccessScores::MemEfficient { .. } => ScoreLayout::MemEfficient,
+        }
+    }
+
+    #[inline]
+    fn index(&self, halo_nodes: &[NodeId], g: NodeId) -> usize {
+        match self {
+            AccessScores::Dense { .. } => g as usize,
+            AccessScores::MemEfficient { .. } => halo_nodes
+                .binary_search(&g)
+                .unwrap_or_else(|_| panic!("node {g} is not a halo node")),
+        }
+    }
+
+    /// Score of global node `g`.
+    pub fn get(&self, halo_nodes: &[NodeId], g: NodeId) -> f32 {
+        let i = self.index(halo_nodes, g);
+        match self {
+            AccessScores::Dense { scores } | AccessScores::MemEfficient { scores } => scores[i],
+        }
+    }
+
+    /// Set the score of `g`.
+    pub fn set(&mut self, halo_nodes: &[NodeId], g: NodeId, v: f32) {
+        let i = self.index(halo_nodes, g);
+        match self {
+            AccessScores::Dense { scores } | AccessScores::MemEfficient { scores } => {
+                scores[i] = v
+            }
+        }
+    }
+
+    /// Increment on a miss (Algorithm 2 line 21).
+    pub fn increment(&mut self, halo_nodes: &[NodeId], g: NodeId) {
+        let i = self.index(halo_nodes, g);
+        match self {
+            AccessScores::Dense { scores } | AccessScores::MemEfficient { scores } => {
+                scores[i] += 1.0
+            }
+        }
+    }
+
+    /// Batched increment for one minibatch's (unique) miss ids. The
+    /// memory-efficient layout resolves the `O(log |V_p^h|)` binary
+    /// searches with rayon when the batch is large — the paper's
+    /// "binary search to locate and update S_A in parallel" (§IV-B).
+    pub fn increment_batch(&mut self, halo_nodes: &[NodeId], ids: &[NodeId]) {
+        const PAR_THRESHOLD: usize = 2048;
+        match self {
+            AccessScores::Dense { scores } => {
+                for &g in ids {
+                    scores[g as usize] += 1.0;
+                }
+            }
+            AccessScores::MemEfficient { scores } => {
+                if ids.len() < PAR_THRESHOLD {
+                    for &g in ids {
+                        let i = halo_nodes
+                            .binary_search(&g)
+                            .unwrap_or_else(|_| panic!("node {g} is not a halo node"));
+                        scores[i] += 1.0;
+                    }
+                } else {
+                    use rayon::prelude::*;
+                    let idx: Vec<usize> = ids
+                        .par_iter()
+                        .map(|g| {
+                            halo_nodes
+                                .binary_search(g)
+                                .unwrap_or_else(|_| panic!("node {g} is not a halo node"))
+                        })
+                        .collect();
+                    for i in idx {
+                        scores[i] += 1.0;
+                    }
+                }
+            }
+        }
+    }
+
+    /// The top `k` replacement candidates among `candidates` (global ids):
+    /// highest `S_A` first, requiring `S_A > 0` (a node never missed is not
+    /// a candidate — Algorithm 2 line 30), ties broken by higher degree
+    /// via the provided `degree_of`, then by id for determinism.
+    pub fn top_k_candidates(
+        &self,
+        halo_nodes: &[NodeId],
+        candidates: impl Iterator<Item = NodeId>,
+        k: usize,
+        degree_of: impl Fn(NodeId) -> u32,
+    ) -> Vec<NodeId> {
+        let mut scored: Vec<(f32, u32, NodeId)> = candidates
+            .filter_map(|g| {
+                let s = self.get(halo_nodes, g);
+                if s > 0.0 {
+                    Some((s, degree_of(g), g))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        scored.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .unwrap()
+                .then(b.1.cmp(&a.1))
+                .then(a.2.cmp(&b.2))
+        });
+        scored.truncate(k);
+        scored.into_iter().map(|(_, _, g)| g).collect()
+    }
+
+    /// Heap bytes — the Fig. 14 memory distinction between layouts:
+    /// `4·|V|` dense vs `4·|V_p^h|` memory-efficient.
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            AccessScores::Dense { scores } | AccessScores::MemEfficient { scores } => {
+                scores.len() * 4
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eviction_scores_decay_and_reset() {
+        let mut e = EvictionScores::new(3);
+        assert_eq!(e.get(0), 1.0);
+        e.decay(0, 0.5);
+        e.decay(0, 0.5);
+        assert!((e.get(0) - 0.25).abs() < 1e-12);
+        e.reset(0);
+        assert_eq!(e.get(0), 1.0);
+    }
+
+    #[test]
+    fn below_threshold_sorted_ascending() {
+        let mut e = EvictionScores::new(4);
+        e.set(0, 0.5);
+        e.set(1, 0.1);
+        e.set(2, 0.9);
+        e.set(3, 0.3);
+        assert_eq!(e.below_threshold(0.6, &[]), vec![1, 3, 0]);
+        assert!(e.below_threshold(0.05, &[]).is_empty());
+    }
+
+    #[test]
+    fn below_threshold_respects_protection() {
+        let mut e = EvictionScores::new(3);
+        e.set(0, 0.1);
+        e.set(1, 0.2);
+        e.set(2, 0.3);
+        assert_eq!(e.below_threshold(0.5, &[1]), vec![0, 2]);
+        assert_eq!(e.below_threshold(0.5, &[0, 1, 2]), Vec::<u32>::new());
+    }
+
+    fn both_layouts(num_halo: usize, num_global: usize) -> [AccessScores; 2] {
+        [
+            AccessScores::new(ScoreLayout::Dense, num_global, num_halo),
+            AccessScores::new(ScoreLayout::MemEfficient, num_global, num_halo),
+        ]
+    }
+
+    #[test]
+    fn layouts_agree_on_all_operations() {
+        let halo = vec![3u32, 7, 11, 20];
+        let [mut dense, mut me] = both_layouts(halo.len(), 30);
+        for &g in &[7u32, 7, 20, 3] {
+            dense.increment(&halo, g);
+            me.increment(&halo, g);
+        }
+        dense.set(&halo, 11, -1.0);
+        me.set(&halo, 11, -1.0);
+        for &g in &halo {
+            assert_eq!(dense.get(&halo, g), me.get(&halo, g), "node {g}");
+        }
+        let deg = |g: NodeId| g; // degree = id for the test
+        let top_d = dense.top_k_candidates(&halo, halo.iter().copied(), 2, deg);
+        let top_m = me.top_k_candidates(&halo, halo.iter().copied(), 2, deg);
+        assert_eq!(top_d, top_m);
+        assert_eq!(top_d, vec![7, 20]); // 7 scored 2; 20 and 3 tie at 1, 20 wins by degree
+    }
+
+    #[test]
+    fn top_k_excludes_nonpositive() {
+        let halo = vec![1u32, 2, 3];
+        let [mut s, _] = both_layouts(halo.len(), 10);
+        s.set(&halo, 1, -1.0);
+        s.increment(&halo, 2);
+        // node 3 stays at 0 — not a candidate.
+        let top = s.top_k_candidates(&halo, halo.iter().copied(), 3, |_| 0);
+        assert_eq!(top, vec![2]);
+    }
+
+    #[test]
+    fn increment_batch_matches_singles() {
+        let halo: Vec<u32> = (0..3000u32).map(|i| i * 2).collect();
+        let ids: Vec<u32> = (0..2500u32).map(|i| halo[(i as usize * 7) % halo.len()]).collect();
+        // Deduplicate (prefetcher misses are unique per minibatch).
+        let mut uniq = ids.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        let [mut a, mut b] = both_layouts(halo.len(), 10_000);
+        for &g in &uniq {
+            a.increment(&halo, g);
+        }
+        b.increment_batch(&halo, &uniq);
+        for &g in &halo {
+            assert_eq!(a.get(&halo, g), b.get(&halo, g));
+        }
+        // Large batch exercises the parallel path on the ME layout.
+        let mut c = AccessScores::new(ScoreLayout::MemEfficient, 10_000, halo.len());
+        c.increment_batch(&halo, &uniq);
+        for &g in &uniq {
+            assert_eq!(c.get(&halo, g), 1.0);
+        }
+    }
+
+    #[test]
+    fn mem_efficient_strictly_smaller() {
+        // Halo is always a strict subset of the global node set.
+        let [dense, me] = both_layouts(100, 1_000_000);
+        assert_eq!(dense.heap_bytes(), 4_000_000);
+        assert_eq!(me.heap_bytes(), 400);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mem_efficient_rejects_non_halo() {
+        let halo = vec![1u32, 5];
+        let [_, mut me] = both_layouts(halo.len(), 10);
+        me.increment(&halo, 3);
+    }
+}

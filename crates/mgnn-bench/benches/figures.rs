@@ -1,0 +1,35 @@
+//! `cargo bench --bench figures` — regenerates every table and figure of
+//! the paper at quick scale and prints the rows. Not a criterion harness:
+//! figure reproduction is about *rows and shapes*, not nanoseconds; the
+//! criterion microbenches live in `benches/micro.rs`.
+
+use mgnn_bench::figures::{ablation, convergence, lookahead, partitioning, fig10, fig11, fig12, fig13, fig14, fig6, fig7, fig8, fig9, perfmodel};
+use mgnn_bench::tables::{table2, table3, table4};
+use mgnn_bench::Opts;
+
+fn main() {
+    // cargo passes --bench; ignore all flags.
+    let opts = Opts::quick();
+    println!("=== MassiveGNN paper reproduction (quick profile) ===\n");
+    let t0 = std::time::Instant::now();
+
+    println!("{}\n", table2::run(&opts));
+    println!("{}\n", table3::run(&opts));
+    println!("{}\n", table4::run(&opts));
+    println!("{}\n", fig6::run(&opts));
+    println!("{}\n", fig7::run(&opts));
+    println!("{}\n", fig8::run(&opts));
+    println!("{}\n", fig9::run(&opts));
+    println!("{}\n", fig10::run(&opts));
+    println!("{}\n", fig11::run(&opts));
+    println!("{}\n", fig12::run(&opts));
+    println!("{}\n", fig13::run(&opts));
+    println!("{}\n", fig14::run(&opts));
+    println!("{}\n", perfmodel::run(&opts));
+    println!("{}\n", ablation::run(&opts));
+    println!("{}\n", lookahead::run(&opts));
+    println!("{}\n", partitioning::run(&opts));
+    println!("{}\n", convergence::run(&opts));
+
+    println!("=== all artifacts regenerated in {:.1?} ===", t0.elapsed());
+}

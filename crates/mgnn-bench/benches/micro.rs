@@ -1,0 +1,231 @@
+//! Criterion microbenchmarks for the hot paths: buffer lookups,
+//! scoreboard updates (dense vs memory-efficient), neighbor sampling,
+//! matmul, ring allreduce, and one full minibatch preparation in each
+//! mode.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use massivegnn::init::initialize_prefetcher;
+use massivegnn::scoreboard::AccessScores;
+use massivegnn::{PrefetchBuffer, PrefetchConfig, ScoreLayout};
+use mgnn_graph::generators::rmat;
+use mgnn_graph::{Dataset, DatasetKind, Scale};
+use mgnn_model::ring_allreduce_average;
+use mgnn_net::{CommMetrics, CostModel, SimCluster};
+use mgnn_partition::{build_local_partitions, multilevel_partition};
+use mgnn_sampling::NeighborSampler;
+use mgnn_tensor::Tensor;
+use std::sync::Arc;
+
+fn bench_buffer_lookup(c: &mut Criterion) {
+    let num_halo = 100_000;
+    let mut buf = PrefetchBuffer::new(num_halo, 25_000, 8);
+    let feat = vec![0.5f32; 8];
+    for h in 0..25_000u32 {
+        buf.insert(h * 4 % num_halo as u32, &feat); // spread occupancy
+    }
+    let probes: Vec<u32> = (0..4096u32).map(|i| (i * 37) % num_halo as u32).collect();
+    let mut g = c.benchmark_group("buffer_lookup");
+    g.throughput(Throughput::Elements(probes.len() as u64));
+    g.bench_function("probe_4096", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for &h in &probes {
+                if buf.contains(h) {
+                    hits += 1;
+                }
+            }
+            std::hint::black_box(hits)
+        })
+    });
+    g.finish();
+}
+
+fn bench_scoreboard(c: &mut Criterion) {
+    let halo: Vec<u32> = (0..100_000u32).map(|i| i * 7).collect();
+    let nodes: Vec<u32> = (0..4096u32).map(|i| halo[(i as usize * 13) % halo.len()]).collect();
+    let mut g = c.benchmark_group("scoreboard_increment");
+    g.throughput(Throughput::Elements(nodes.len() as u64));
+    for layout in [ScoreLayout::Dense, ScoreLayout::MemEfficient] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{layout:?}")),
+            &layout,
+            |b, &layout| {
+                let mut s = AccessScores::new(layout, 1_000_000, halo.len());
+                b.iter(|| {
+                    for &n in &nodes {
+                        s.increment(&halo, n);
+                    }
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_sampler(c: &mut Criterion) {
+    let graph = rmat(20_000, 400_000, Default::default(), 7);
+    let parts = multilevel_partition(&graph, 4, 7);
+    let train: Vec<u32> = (0..graph.num_nodes() as u32).step_by(2).collect();
+    let part = build_local_partitions(&graph, &parts, &train).remove(0);
+    let seeds: Vec<u32> = (0..256.min(part.num_local() as u32)).collect();
+    let sampler = NeighborSampler::new(vec![10, 25], 3);
+    let mut g = c.benchmark_group("neighbor_sampler");
+    g.sample_size(20);
+    g.bench_function("fanout_10_25_batch_256", |b| {
+        let mut step = 0u64;
+        b.iter(|| {
+            step += 1;
+            std::hint::black_box(sampler.sample(&part, &seeds, 0, step))
+        })
+    });
+    g.finish();
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let a = Tensor::from_vec(512, 128, (0..512 * 128).map(|i| (i % 97) as f32 * 0.01).collect());
+    let b_t = Tensor::from_vec(128, 64, (0..128 * 64).map(|i| (i % 89) as f32 * 0.01).collect());
+    let mut g = c.benchmark_group("tensor");
+    g.throughput(Throughput::Elements((512 * 128 * 64) as u64));
+    g.bench_function("matmul_512x128x64", |bch| {
+        bch.iter(|| std::hint::black_box(a.matmul(&b_t)))
+    });
+    g.finish();
+}
+
+fn bench_allreduce(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ring_allreduce");
+    for world in [4usize, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(world), &world, |b, &world| {
+            b.iter_batched(
+                || {
+                    (0..world)
+                        .map(|r| vec![r as f32; 65_536])
+                        .collect::<Vec<_>>()
+                },
+                |mut grads| ring_allreduce_average(&mut grads),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_prepare(c: &mut Criterion) {
+    let dataset = Dataset::generate(DatasetKind::Products, Scale::Unit, 11);
+    let parts = multilevel_partition(&dataset.graph, 2, 11);
+    let cluster = Arc::new(SimCluster::new(&dataset.features, &parts.assignment, 2));
+    let part = build_local_partitions(&dataset.graph, &parts, &dataset.train_nodes).remove(0);
+    let seeds: Vec<u32> = part
+        .train_nodes
+        .iter()
+        .take(128)
+        .map(|&gid| part.local_id(gid).unwrap())
+        .collect();
+    let sampler = NeighborSampler::new(vec![10, 25], 5);
+    let cost = CostModel::default();
+
+    let mut g = c.benchmark_group("prepare_minibatch");
+    g.sample_size(20);
+    g.bench_function("baseline", |b| {
+        let metrics = CommMetrics::new();
+        let mut step = 0u64;
+        b.iter(|| {
+            step += 1;
+            std::hint::black_box(massivegnn::prefetcher::baseline_prepare(
+                &part, &sampler, &seeds, 0, step, &cluster, &cost, &metrics,
+            ))
+        })
+    });
+    g.bench_function("prefetch_with_eviction", |b| {
+        let metrics = CommMetrics::new();
+        let (mut pf, _) = initialize_prefetcher(
+            &part,
+            PrefetchConfig {
+                f_h: 0.25,
+                delta: 16,
+                ..Default::default()
+            },
+            dataset.num_nodes(),
+            &cluster,
+            &cost,
+            &metrics,
+        );
+        let mut step = 0u64;
+        b.iter(|| {
+            step += 1;
+            std::hint::black_box(pf.prepare(
+                &part, &sampler, &seeds, 0, step, &cluster, &cost, &metrics,
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_partitioners(c: &mut Criterion) {
+    use mgnn_partition::{bfs::bfs_partition, hash::hash_partition, random::random_partition};
+    let graph = rmat(10_000, 150_000, Default::default(), 13);
+    let mut g = c.benchmark_group("partitioner_10k_nodes");
+    g.sample_size(10);
+    g.bench_function("multilevel", |b| {
+        b.iter(|| std::hint::black_box(multilevel_partition(&graph, 4, 1)))
+    });
+    g.bench_function("bfs", |b| {
+        b.iter(|| std::hint::black_box(bfs_partition(&graph, 4)))
+    });
+    g.bench_function("hash", |b| {
+        b.iter(|| std::hint::black_box(hash_partition(&graph, 4)))
+    });
+    g.bench_function("random", |b| {
+        b.iter(|| std::hint::black_box(random_partition(&graph, 4, 1)))
+    });
+    g.finish();
+}
+
+fn bench_generators(c: &mut Criterion) {
+    use mgnn_graph::generators::{barabasi_albert, erdos_renyi, watts_strogatz};
+    let mut g = c.benchmark_group("generators_10k_nodes");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("rmat", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            std::hint::black_box(rmat(10_000, 100_000, Default::default(), seed))
+        })
+    });
+    g.bench_function("erdos_renyi", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            std::hint::black_box(erdos_renyi(10_000, 100_000, seed))
+        })
+    });
+    g.bench_function("barabasi_albert_m10", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            std::hint::black_box(barabasi_albert(10_000, 10, seed))
+        })
+    });
+    g.bench_function("watts_strogatz_k5", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            std::hint::black_box(watts_strogatz(10_000, 5, 0.1, seed))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_buffer_lookup,
+    bench_scoreboard,
+    bench_sampler,
+    bench_matmul,
+    bench_allreduce,
+    bench_prepare,
+    bench_partitioners,
+    bench_generators
+);
+criterion_main!(benches);

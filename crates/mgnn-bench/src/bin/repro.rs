@@ -1,0 +1,108 @@
+//! Reproduction CLI: regenerate any table or figure of the paper.
+//!
+//! ```bash
+//! cargo run --release -p mgnn-bench --bin repro -- --experiment fig6
+//! cargo run --release -p mgnn-bench --bin repro -- --experiment all --scale small
+//! cargo run --release -p mgnn-bench --bin repro -- --experiment table4 --full
+//! ```
+
+use mgnn_bench::figures::{ablation, convergence, lookahead, partitioning, fig10, fig11, fig12, fig13, fig14, fig6, fig7, fig8, fig9, perfmodel};
+use mgnn_bench::tables::{table2, table3, table4};
+use mgnn_bench::Opts;
+use mgnn_graph::Scale;
+
+const EXPERIMENTS: &[&str] = &[
+    "table2", "table3", "table4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+    "fig13", "fig14", "perfmodel", "ablation", "lookahead", "partitioning", "convergence",
+];
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro --experiment <{}|all> [--scale unit|small|bench] [--epochs N] [--batch N] [--hidden N] [--full] [--seed N]",
+        EXPERIMENTS.join("|")
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut experiment = String::from("all");
+    let mut opts = Opts::standard();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--experiment" | "-e" => {
+                i += 1;
+                experiment = args.get(i).cloned().unwrap_or_else(|| usage());
+            }
+            "--scale" => {
+                i += 1;
+                opts.scale = match args.get(i).map(String::as_str) {
+                    Some("unit") => Scale::Unit,
+                    Some("small") => Scale::Small,
+                    Some("bench") => Scale::Bench,
+                    _ => usage(),
+                };
+            }
+            "--epochs" => {
+                i += 1;
+                opts.epochs = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--batch" => {
+                i += 1;
+                opts.batch_size =
+                    args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--hidden" => {
+                i += 1;
+                opts.hidden_dim =
+                    args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--seed" => {
+                i += 1;
+                opts.seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--full" => opts.full = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage()
+            }
+        }
+        i += 1;
+    }
+
+    let list: Vec<&str> = if experiment == "all" {
+        EXPERIMENTS.to_vec()
+    } else if EXPERIMENTS.contains(&experiment.as_str()) {
+        vec![experiment.as_str()]
+    } else {
+        eprintln!("unknown experiment: {experiment}");
+        usage()
+    };
+
+    for name in list {
+        let t0 = std::time::Instant::now();
+        match name {
+            "table2" => println!("{}", table2::run(&opts)),
+            "table3" => println!("{}", table3::run(&opts)),
+            "table4" => println!("{}", table4::run(&opts)),
+            "fig6" => println!("{}", fig6::run(&opts)),
+            "fig7" => println!("{}", fig7::run(&opts)),
+            "fig8" => println!("{}", fig8::run(&opts)),
+            "fig9" => println!("{}", fig9::run(&opts)),
+            "fig10" => println!("{}", fig10::run(&opts)),
+            "fig11" => println!("{}", fig11::run(&opts)),
+            "fig12" => println!("{}", fig12::run(&opts)),
+            "fig13" => println!("{}", fig13::run(&opts)),
+            "fig14" => println!("{}", fig14::run(&opts)),
+            "perfmodel" => println!("{}", perfmodel::run(&opts)),
+            "ablation" => println!("{}", ablation::run(&opts)),
+            "lookahead" => println!("{}", lookahead::run(&opts)),
+            "partitioning" => println!("{}", partitioning::run(&opts)),
+            "convergence" => println!("{}", convergence::run(&opts)),
+            _ => unreachable!(),
+        }
+        eprintln!("[{name} took {:.1?}]\n", t0.elapsed());
+    }
+}

@@ -1,0 +1,107 @@
+//! Fig. 7: GAT (2 attention heads) on the papers-like input — does the
+//! prefetch scheme transfer to another architecture? (§V-A4: up to 39%
+//! CPU / 15% GPU improvement; eviction adds 5–8 points on CPU, GPU can
+//! degrade when overlap fails.)
+
+use crate::harness::{engine_config, improvement_pct, optimize_prefetch, Opts};
+use massivegnn::Engine;
+use mgnn_graph::DatasetKind;
+use mgnn_model::ModelKind;
+use mgnn_net::Backend;
+use std::fmt;
+
+/// One bar group.
+#[derive(Debug, Clone)]
+pub struct Group {
+    /// Backend name.
+    pub backend: &'static str,
+    /// Compute nodes.
+    pub num_parts: usize,
+    /// Baseline makespan.
+    pub baseline_s: f64,
+    /// Best no-eviction `(f_h, time, hit)`.
+    pub no_evict: (f64, f64, f64),
+    /// Best with-eviction `(γ, Δ, time, hit)`.
+    pub best_evict: (f64, usize, f64, f64),
+}
+
+/// The figure.
+pub struct Fig7 {
+    /// Bar groups.
+    pub groups: Vec<Group>,
+}
+
+/// Run GAT on papers-like over {2, 4} nodes × both backends.
+pub fn run(opts: &Opts) -> Fig7 {
+    let node_counts: &[usize] = if opts.full { &[2, 4, 8] } else { &[2, 4] };
+    let mut groups = Vec::new();
+    for backend in [Backend::Cpu, Backend::Gpu] {
+        for &parts in node_counts {
+            let mut base = engine_config(opts, DatasetKind::Papers, backend, parts);
+            base.model = ModelKind::Gat;
+            base.gat_heads = 2;
+            let baseline = Engine::build(base.clone()).run();
+            let optimized = optimize_prefetch(&base, false);
+            let (f_h, ne) = &optimized.no_evict;
+            let best = optimized
+                .with_evict
+                .iter()
+                .min_by(|a, b| a.2.makespan_s.partial_cmp(&b.2.makespan_s).unwrap())
+                .unwrap();
+            groups.push(Group {
+                backend: backend.name(),
+                num_parts: parts,
+                baseline_s: baseline.makespan_s,
+                no_evict: (*f_h, ne.makespan_s, ne.hit_rate()),
+                best_evict: (best.0, best.1, best.2.makespan_s, best.2.hit_rate()),
+            });
+        }
+    }
+    Fig7 { groups }
+}
+
+impl fmt::Display for Fig7 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fig. 7 — GAT (2 heads) on papers-like")?;
+        writeln!(
+            f,
+            "{:<4} {:>6} {:>11} {:>10} {:>10} {:>9} {:>9}",
+            "dev", "#nodes", "DistDGL(s)", "noEvict(s)", "evict(s)", "impr(%)", "hit(%)"
+        )?;
+        for g in &self.groups {
+            writeln!(
+                f,
+                "{:<4} {:>6} {:>11.3} {:>10.3} {:>10.3} {:>9.1} {:>9.1}",
+                g.backend,
+                g.num_parts,
+                g.baseline_s,
+                g.no_evict.1,
+                g.best_evict.2,
+                improvement_pct(g.baseline_s, g.best_evict.2.min(g.no_evict.1)),
+                100.0 * g.best_evict.3
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gat_prefetch_improves_on_cpu() {
+        let mut opts = Opts::quick();
+        opts.epochs = 2;
+        let fig = run(&opts);
+        for g in fig.groups.iter().filter(|g| g.backend == "CPU") {
+            let best = g.best_evict.2.min(g.no_evict.1);
+            assert!(
+                improvement_pct(g.baseline_s, best) > 0.0,
+                "CPU {} nodes: GAT prefetch should improve",
+                g.num_parts
+            );
+        }
+        assert!(format!("{fig}").contains("GAT"));
+    }
+}

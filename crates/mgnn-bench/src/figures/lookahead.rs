@@ -1,0 +1,120 @@
+//! Look-ahead depth study (beyond the paper's figures): the paper's
+//! future work proposes "options to prefetch future minibatches … towards
+//! a sustainable 'perfect overlap' model for various GPU-based
+//! configurations". We generalize Eq. 5 to a bounded queue of depth `k`
+//! and measure: deeper queues cannot raise steady-state throughput (the
+//! slower stage still binds), but they absorb the Δ-periodic eviction
+//! bursts in `t_prepare`, pushing GPU overlap efficiency toward 1.
+
+use crate::harness::{engine_config, Opts};
+use massivegnn::{Engine, Mode, PrefetchConfig};
+use mgnn_graph::DatasetKind;
+use mgnn_net::Backend;
+use std::fmt;
+
+/// One look-ahead depth's outcome.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// Queue depth `k`.
+    pub lookahead: usize,
+    /// Makespan (s).
+    pub time_s: f64,
+    /// Mean overlap efficiency.
+    pub overlap_efficiency: f64,
+    /// Mean stall per trainer (s).
+    pub stall_s: f64,
+}
+
+/// The study.
+pub struct Lookahead {
+    /// Points over queue depths.
+    pub points: Vec<Point>,
+    /// Baseline (DistDGL) time for reference.
+    pub baseline_s: f64,
+}
+
+/// Sweep lookahead ∈ {1, 2, 4, 8} on the GPU backend with frequent
+/// eviction rounds (bursty preparation).
+pub fn run(opts: &Opts) -> Lookahead {
+    let mut base = engine_config(opts, DatasetKind::Products, Backend::Gpu, 2);
+    base.epochs = (opts.epochs * 4).max(8);
+    let baseline = Engine::build(base.clone()).run();
+    let mut points = Vec::new();
+    for lookahead in [1usize, 2, 4, 8] {
+        let mut cfg = base.clone();
+        cfg.mode = Mode::Prefetch(PrefetchConfig {
+            f_h: 0.25,
+            gamma: 0.95,
+            delta: 8, // frequent eviction ⇒ bursty t_prepare
+            lookahead,
+            ..Default::default()
+        });
+        let r = Engine::build(cfg).run();
+        let n = r.trainers.len() as f64;
+        points.push(Point {
+            lookahead,
+            time_s: r.makespan_s,
+            overlap_efficiency: r.mean_overlap_efficiency(),
+            stall_s: r.trainers.iter().map(|t| t.stall_s).sum::<f64>() / n,
+        });
+    }
+    Lookahead {
+        points,
+        baseline_s: baseline.makespan_s,
+    }
+}
+
+impl fmt::Display for Lookahead {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Look-ahead depth (paper future work) — GPU, bursty eviction (baseline {:.3}s)",
+            self.baseline_s
+        )?;
+        writeln!(
+            f,
+            "{:>9} {:>10} {:>9} {:>10}",
+            "lookahead", "time(s)", "overlap%", "stall(s)"
+        )?;
+        for p in &self.points {
+            writeln!(
+                f,
+                "{:>9} {:>10.4} {:>9.0} {:>10.4}",
+                p.lookahead,
+                p.time_s,
+                100.0 * p.overlap_efficiency,
+                p.stall_s
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deeper_lookahead_never_slower() {
+        let mut opts = Opts::quick();
+        opts.epochs = 3;
+        let study = run(&opts);
+        for w in study.points.windows(2) {
+            assert!(
+                w[1].time_s <= w[0].time_s * 1.001,
+                "k={} ({:.4}s) slower than k={} ({:.4}s)",
+                w[1].lookahead,
+                w[1].time_s,
+                w[0].lookahead,
+                w[0].time_s
+            );
+        }
+        // Depth ≥ 2 should not reduce overlap efficiency.
+        assert!(
+            study.points.last().unwrap().overlap_efficiency + 1e-9
+                >= study.points[0].overlap_efficiency,
+            "deep queue lost efficiency"
+        );
+        assert!(format!("{study}").contains("Look-ahead"));
+    }
+}

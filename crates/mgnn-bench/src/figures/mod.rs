@@ -1,0 +1,17 @@
+//! Figure reproductions (Figs. 6–14 of the paper, plus the Eq. 6 model
+//! check).
+
+pub mod ablation;
+pub mod convergence;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig6;
+pub mod lookahead;
+pub mod partitioning;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod perfmodel;

@@ -1,0 +1,252 @@
+//! Shared experiment plumbing: option handling, engine-config presets,
+//! parameter sweeps and report formatting.
+
+use massivegnn::{Engine, EngineConfig, Mode, PrefetchConfig, RunReport, ScoreLayout};
+use mgnn_graph::{DatasetKind, Scale};
+use mgnn_model::ModelKind;
+use mgnn_net::Backend;
+
+/// Harness-wide options (size/effort knobs shared by all experiments).
+#[derive(Debug, Clone)]
+pub struct Opts {
+    /// Dataset generation scale.
+    pub scale: Scale,
+    /// Training epochs per run.
+    pub epochs: usize,
+    /// Per-trainer batch size.
+    pub batch_size: usize,
+    /// Sampler fanouts (input layer first; the paper uses {10, 25}).
+    pub fanouts: Vec<usize>,
+    /// Hidden dimension of the 2-layer models.
+    pub hidden_dim: usize,
+    /// Run the complete paper grid (slow) instead of the representative
+    /// subset.
+    pub full: bool,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            scale: Scale::Unit,
+            epochs: 3,
+            batch_size: 128,
+            fanouts: vec![10, 25],
+            hidden_dim: 64,
+            full: false,
+            seed: 42,
+        }
+    }
+}
+
+impl Opts {
+    /// A quick profile for smoke tests and `cargo bench` figure runs.
+    pub fn quick() -> Self {
+        Opts {
+            epochs: 2,
+            batch_size: 96,
+            fanouts: vec![5, 10],
+            hidden_dim: 32,
+            ..Default::default()
+        }
+    }
+
+    /// The paper-shaped profile used by the repro CLI by default.
+    pub fn standard() -> Self {
+        Opts::default()
+    }
+
+    /// The long-run profile used by the eviction-dynamics figures
+    /// (Figs. 10, 12, 13): a larger graph (so the halo set dwarfs one
+    /// minibatch's sampled set, as at paper scale), smaller batches and
+    /// enough epochs for many Δ intervals to elapse.
+    ///
+    /// Debug builds keep the Unit scale and fewer epochs so `cargo test`
+    /// stays fast; the figure *shapes* asserted by tests hold at both
+    /// sizes, and release runs (`repro`, `cargo bench`) use the full
+    /// profile.
+    pub fn longrun_of(&self) -> Opts {
+        let mut o = self.clone();
+        if cfg!(debug_assertions) {
+            o.batch_size = o.batch_size.min(48);
+            o.epochs = (o.epochs * 4).max(8);
+            return o;
+        }
+        if matches!(o.scale, Scale::Unit) {
+            o.scale = Scale::Small;
+        }
+        o.batch_size = o.batch_size.min(64);
+        o.epochs = (o.epochs * 10).max(20);
+        o
+    }
+}
+
+/// Base engine config for `(dataset, backend, num_parts)` under `opts`.
+/// `trainers_per_part` is fixed at the paper's 4.
+pub fn engine_config(
+    opts: &Opts,
+    dataset: DatasetKind,
+    backend: Backend,
+    num_parts: usize,
+) -> EngineConfig {
+    EngineConfig {
+        dataset,
+        scale: opts.scale,
+        num_parts,
+        trainers_per_part: 4,
+        batch_size: opts.batch_size,
+        epochs: opts.epochs,
+        fanouts: opts.fanouts.clone(),
+        sampling: mgnn_sampling::SamplingStrategy::Uniform,
+        hidden_dim: opts.hidden_dim,
+        model: ModelKind::Sage,
+        gat_heads: 2,
+        backend,
+        mode: Mode::Baseline,
+        seed: opts.seed,
+        cost: Default::default(),
+        train_math: false,
+    }
+}
+
+/// The paper's `f_p^h` sweep values.
+pub fn f_h_values(full: bool) -> Vec<f64> {
+    if full {
+        vec![0.15, 0.25, 0.35, 0.5]
+    } else {
+        vec![0.25, 0.5]
+    }
+}
+
+/// The paper's γ sweep values.
+pub fn gamma_values() -> Vec<f64> {
+    vec![0.95, 0.995, 0.9995]
+}
+
+/// The paper's Δ sweep values (subset unless `full`).
+pub fn delta_values(full: bool) -> Vec<usize> {
+    if full {
+        vec![16, 32, 64, 128, 512, 1024]
+    } else {
+        vec![16, 64, 256]
+    }
+}
+
+/// Default memory layout per dataset: the paper uses the memory-efficient
+/// `S_A` for papers100M only.
+pub fn layout_for(dataset: DatasetKind) -> ScoreLayout {
+    match dataset {
+        DatasetKind::Papers => ScoreLayout::MemEfficient,
+        _ => ScoreLayout::Dense,
+    }
+}
+
+/// Result of optimizing prefetch parameters for one cell of Fig. 6 /
+/// Table IV: the best configuration found and its run.
+pub struct Optimized {
+    /// Best "prefetch without eviction" run and its `f_p^h`.
+    pub no_evict: (f64, RunReport),
+    /// Best "prefetch with eviction" run per γ: `(γ, Δ, report)`.
+    pub with_evict: Vec<(f64, usize, RunReport)>,
+}
+
+/// Sweep `f_p^h` (no eviction), then Δ per γ on the optimal `f_p^h`,
+/// choosing by lowest makespan — the paper's §V-A methodology
+/// ("we always prioritize time over hit rate").
+pub fn optimize_prefetch(base: &EngineConfig, full: bool) -> Optimized {
+    let layout = layout_for(base.dataset);
+    let mut best_ne: Option<(f64, RunReport)> = None;
+    for f_h in f_h_values(full) {
+        let mut cfg = base.clone();
+        cfg.mode = Mode::Prefetch(PrefetchConfig {
+            f_h,
+            layout,
+            ..PrefetchConfig::default().without_eviction()
+        });
+        let r = Engine::build(cfg).run();
+        if best_ne
+            .as_ref()
+            .map_or(true, |(_, b)| r.makespan_s < b.makespan_s)
+        {
+            best_ne = Some((f_h, r));
+        }
+    }
+    let best_f = best_ne.as_ref().unwrap().0;
+
+    let mut with_evict = Vec::new();
+    for gamma in gamma_values() {
+        let mut best: Option<(usize, RunReport)> = None;
+        for delta in delta_values(full) {
+            let mut cfg = base.clone();
+            cfg.mode = Mode::Prefetch(PrefetchConfig {
+                f_h: best_f,
+                gamma,
+                delta,
+                eviction: true,
+                layout,
+                lookahead: 1,
+            });
+            let r = Engine::build(cfg).run();
+            if best
+                .as_ref()
+                .map_or(true, |(_, b)| r.makespan_s < b.makespan_s)
+            {
+                best = Some((delta, r));
+            }
+        }
+        let (delta, r) = best.unwrap();
+        with_evict.push((gamma, delta, r));
+    }
+    Optimized {
+        no_evict: best_ne.unwrap(),
+        with_evict,
+    }
+}
+
+/// Percent improvement of `new` over `old` (positive = faster).
+pub fn improvement_pct(old: f64, new: f64) -> f64 {
+    if old == 0.0 {
+        0.0
+    } else {
+        100.0 * (1.0 - new / old)
+    }
+}
+
+/// Render a series as `a, b, c` with fixed precision.
+pub fn fmt_series(xs: &[f64], decimals: usize) -> String {
+    xs.iter()
+        .map(|x| format!("{x:.decimals$}"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn improvement_math() {
+        assert!((improvement_pct(10.0, 7.0) - 30.0).abs() < 1e-9);
+        assert_eq!(improvement_pct(0.0, 1.0), 0.0);
+        assert!(improvement_pct(10.0, 12.0) < 0.0);
+    }
+
+    #[test]
+    fn sweep_values_match_paper() {
+        assert_eq!(f_h_values(true), vec![0.15, 0.25, 0.35, 0.5]);
+        assert_eq!(gamma_values(), vec![0.95, 0.995, 0.9995]);
+        assert_eq!(delta_values(true), vec![16, 32, 64, 128, 512, 1024]);
+    }
+
+    #[test]
+    fn papers_uses_mem_efficient_layout() {
+        assert_eq!(layout_for(DatasetKind::Papers), ScoreLayout::MemEfficient);
+        assert_eq!(layout_for(DatasetKind::Arxiv), ScoreLayout::Dense);
+    }
+
+    #[test]
+    fn fmt_series_rounds() {
+        assert_eq!(fmt_series(&[0.123, 0.456], 2), "0.12, 0.46");
+    }
+}

@@ -1,0 +1,5 @@
+//! Table reproductions (Tables II–IV of the paper).
+
+pub mod table2;
+pub mod table3;
+pub mod table4;

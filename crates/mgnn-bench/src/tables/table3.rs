@@ -1,0 +1,123 @@
+//! Table III: average remote (halo) nodes per trainer and minibatches per
+//! trainer as the trainer count grows with a constant batch size — the
+//! structural driver of the paper's "hit rate falls with more trainers"
+//! observation.
+
+use crate::harness::{engine_config, Opts};
+use massivegnn::Engine;
+use mgnn_graph::DatasetKind;
+use mgnn_net::Backend;
+use std::fmt;
+
+/// One (dataset, #trainers) cell.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Total trainers (4 per compute node).
+    pub trainers: usize,
+    /// Mean halo nodes visible per trainer's partition.
+    pub avg_remote: f64,
+    /// Minibatches per trainer per full run.
+    pub minibatches: usize,
+}
+
+/// Rows per dataset.
+pub struct Table3 {
+    /// `(dataset name, cells over trainer counts)`.
+    pub rows: Vec<(&'static str, Vec<Cell>)>,
+    /// Epochs the minibatch counts cover.
+    pub epochs: usize,
+}
+
+/// Compute the table for trainer counts {8, 16, 32} (4/node ⇒ 2/4/8
+/// compute nodes; extend with `--full`).
+pub fn run(opts: &Opts) -> Table3 {
+    let node_counts: &[usize] = if opts.full { &[2, 4, 8, 16] } else { &[2, 4, 8] };
+    let datasets = [DatasetKind::Arxiv, DatasetKind::Products, DatasetKind::Papers];
+    let mut rows = Vec::new();
+    for kind in datasets {
+        let mut cells = Vec::new();
+        for &parts in node_counts {
+            let cfg = engine_config(opts, kind, Backend::Cpu, parts);
+            let engine = Engine::build(cfg);
+            let avg_remote = engine
+                .partitions()
+                .iter()
+                .map(|p| p.num_halo() as f64)
+                .sum::<f64>()
+                / engine.partitions().len() as f64;
+            cells.push(Cell {
+                trainers: parts * 4,
+                avg_remote,
+                minibatches: engine.steps_per_epoch() * opts.epochs,
+            });
+        }
+        rows.push((kind.name(), cells));
+    }
+    Table3 {
+        rows,
+        epochs: opts.epochs,
+    }
+}
+
+impl fmt::Display for Table3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Table III — avg remote nodes per trainer / minibatches per trainer ({} epochs)",
+            self.epochs
+        )?;
+        write!(f, "{:<10}", "#trainers")?;
+        for (name, _) in &self.rows {
+            write!(f, " {name:>16}")?;
+        }
+        writeln!(f)?;
+        let counts: Vec<usize> = self.rows[0].1.iter().map(|c| c.trainers).collect();
+        for (i, t) in counts.iter().enumerate() {
+            write!(f, "{t:<10}")?;
+            for (_, cells) in &self.rows {
+                let c = &cells[i];
+                write!(
+                    f,
+                    " {:>10.1}/{:<5}",
+                    c.avg_remote, c.minibatches
+                )?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minibatches_shrink_with_more_trainers() {
+        let t = run(&Opts::quick());
+        for (name, cells) in &t.rows {
+            for w in cells.windows(2) {
+                assert!(
+                    w[1].minibatches <= w[0].minibatches,
+                    "{name}: minibatches should fall as trainers grow"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn remote_nodes_positive() {
+        let t = run(&Opts::quick());
+        for (_, cells) in &t.rows {
+            assert!(cells.iter().all(|c| c.avg_remote > 0.0));
+        }
+    }
+
+    #[test]
+    fn display_renders() {
+        let t = run(&Opts::quick());
+        let s = format!("{t}");
+        assert!(s.contains("Table III"));
+        assert!(s.contains("products"));
+    }
+}

@@ -1,0 +1,122 @@
+//! Table IV: the optimal `(f_p^h, γ, Δ)` per dataset and backend — the
+//! argmin over the same sweep Fig. 6 evaluates, choosing by training time
+//! (the paper: "we always prioritize time over hit rate").
+
+use crate::harness::{engine_config, optimize_prefetch, Opts};
+use massivegnn::Engine;
+use mgnn_graph::DatasetKind;
+use mgnn_net::Backend;
+use std::fmt;
+
+/// One optimal cell.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Dataset name.
+    pub dataset: &'static str,
+    /// Backend name.
+    pub backend: &'static str,
+    /// Optimal buffer fraction.
+    pub f_h: f64,
+    /// Optimal decay.
+    pub gamma: f64,
+    /// Optimal interval.
+    pub delta: usize,
+    /// Its improvement over baseline (%).
+    pub improvement_pct: f64,
+}
+
+/// The table.
+pub struct Table4 {
+    /// Optimal settings per (dataset, backend).
+    pub cells: Vec<Cell>,
+    /// Compute nodes used.
+    pub num_parts: usize,
+}
+
+/// Find optima on `num_parts = 2` compute nodes (extend with `--full`).
+pub fn run(opts: &Opts) -> Table4 {
+    let num_parts = 2;
+    let datasets: &[DatasetKind] = if opts.full {
+        &DatasetKind::ALL
+    } else {
+        &[DatasetKind::Arxiv, DatasetKind::Products]
+    };
+    let mut cells = Vec::new();
+    for &kind in datasets {
+        for backend in [Backend::Cpu, Backend::Gpu] {
+            let base = engine_config(opts, kind, backend, num_parts);
+            let baseline = Engine::build(base.clone()).run();
+            let optimized = optimize_prefetch(&base, opts.full);
+            // Best with-eviction run over γ.
+            let (gamma, delta, best) = optimized
+                .with_evict
+                .iter()
+                .min_by(|a, b| a.2.makespan_s.partial_cmp(&b.2.makespan_s).unwrap())
+                .map(|(g, d, r)| (*g, *d, r))
+                .unwrap();
+            cells.push(Cell {
+                dataset: kind.name(),
+                backend: backend.name(),
+                f_h: optimized.no_evict.0,
+                gamma,
+                delta,
+                improvement_pct: crate::harness::improvement_pct(
+                    baseline.makespan_s,
+                    best.makespan_s,
+                ),
+            });
+        }
+    }
+    Table4 { cells, num_parts }
+}
+
+impl fmt::Display for Table4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Table IV — optimal (f_p^h, γ, Δ) on {} compute nodes",
+            self.num_parts
+        )?;
+        writeln!(
+            f,
+            "{:<10} {:<8} {:>6} {:>8} {:>6} {:>8}",
+            "dataset", "backend", "f_h", "gamma", "delta", "impr(%)"
+        )?;
+        for c in &self.cells {
+            writeln!(
+                f,
+                "{:<10} {:<8} {:>6} {:>8} {:>6} {:>8.1}",
+                c.dataset, c.backend, c.f_h, c.gamma, c.delta, c.improvement_pct
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optima_are_from_the_sweep_grid() {
+        let mut opts = Opts::quick();
+        opts.epochs = 2;
+        let t = run(&opts);
+        for c in &t.cells {
+            assert!(crate::harness::f_h_values(false).contains(&c.f_h));
+            assert!(crate::harness::gamma_values().contains(&c.gamma));
+            assert!(crate::harness::delta_values(false).contains(&c.delta));
+        }
+        // Both backends represented.
+        assert!(t.cells.iter().any(|c| c.backend == "CPU"));
+        assert!(t.cells.iter().any(|c| c.backend == "GPU"));
+    }
+
+    #[test]
+    fn display_renders() {
+        let mut opts = Opts::quick();
+        opts.epochs = 2;
+        let t = run(&opts);
+        assert!(format!("{t}").contains("Table IV"));
+    }
+}

@@ -1,0 +1,94 @@
+//! Watts–Strogatz small-world generator: a ring lattice of degree `2k`
+//! with each edge rewired with probability `beta`. Produces high
+//! clustering with tunable diameter — the complement of the hub-dominated
+//! R-MAT/BA families, useful for exercising the sampler and partitioner on
+//! locality-heavy topologies (low `beta` keeps near-lattice locality that
+//! partitioners should exploit almost perfectly).
+
+use crate::builder::GraphBuilder;
+use crate::csr::{CsrGraph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generate a Watts–Strogatz graph: `n` nodes on a ring, each connected to
+/// its `k` nearest neighbors on each side, each edge rewired with
+/// probability `beta ∈ [0, 1]`.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> CsrGraph {
+    assert!(k >= 1, "ws: k must be >= 1");
+    assert!(n > 2 * k, "ws: n must exceed 2k");
+    assert!((0.0..=1.0).contains(&beta));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n).with_capacity(n * k);
+    for u in 0..n {
+        for j in 1..=k {
+            let v = (u + j) % n;
+            if rng.gen::<f64>() < beta {
+                // Rewire to a uniform random non-self target.
+                let mut t = rng.gen_range(0..n);
+                let mut guard = 0;
+                while t == u && guard < 16 {
+                    t = rng.gen_range(0..n);
+                    guard += 1;
+                }
+                if t != u {
+                    b.add_edge(u as NodeId, t as NodeId);
+                }
+            } else {
+                b.add_edge(u as NodeId, v as NodeId);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::bfs_eccentricity;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            watts_strogatz(500, 3, 0.1, 7),
+            watts_strogatz(500, 3, 0.1, 7)
+        );
+    }
+
+    #[test]
+    fn zero_beta_is_ring_lattice() {
+        let g = watts_strogatz(100, 2, 0.0, 1);
+        // Every node has exactly 2k = 4 neighbors on the ring.
+        for u in g.nodes() {
+            assert_eq!(g.degree(u), 4, "node {u}");
+        }
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(0, 99));
+        assert!(g.has_edge(0, 98));
+    }
+
+    #[test]
+    fn rewiring_shrinks_diameter() {
+        let lattice = watts_strogatz(1000, 2, 0.0, 3);
+        let small_world = watts_strogatz(1000, 2, 0.3, 3);
+        let d0 = bfs_eccentricity(&lattice, 0);
+        let d1 = bfs_eccentricity(&small_world, 0);
+        assert!(
+            d1 < d0 / 3,
+            "rewired diameter {d1} should be far below lattice {d0}"
+        );
+    }
+
+    #[test]
+    fn degrees_stay_near_lattice() {
+        let g = watts_strogatz(800, 3, 0.2, 9);
+        let avg = g.avg_degree();
+        assert!((avg - 6.0).abs() < 0.8, "avg degree {avg}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_too_small_n() {
+        watts_strogatz(4, 2, 0.1, 0);
+    }
+}

@@ -1,0 +1,340 @@
+//! Graph and feature I/O: a compact binary snapshot format (magic + version
+//! + little-endian arrays) and a whitespace edge-list text format for
+//! interop. Round-trip fidelity is covered by tests; the binary reader
+//! validates the header and lengths before trusting the payload.
+
+use crate::csr::{CsrGraph, NodeId};
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 8] = b"MGNNCSR1";
+
+/// Serialize a graph to a binary stream.
+pub fn write_csr<W: Write>(g: &CsrGraph, w: &mut W) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&(g.num_nodes() as u64).to_le_bytes())?;
+    w.write_all(&(g.num_edges() as u64).to_le_bytes())?;
+    for &o in g.offsets() {
+        w.write_all(&o.to_le_bytes())?;
+    }
+    for &t in g.targets() {
+        w.write_all(&t.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Deserialize a graph from a binary stream, validating invariants.
+pub fn read_csr<R: Read>(r: &mut R) -> io::Result<CsrGraph> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+    }
+    let n = read_u64(r)? as usize;
+    let m = read_u64(r)? as usize;
+    // Sanity cap: refuse absurd sizes before allocating.
+    if n > (1 << 33) || m > (1 << 38) {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "size out of range"));
+    }
+    let mut offsets = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        offsets.push(read_u64(r)?);
+    }
+    let mut targets = Vec::with_capacity(m);
+    let mut buf = [0u8; 4];
+    for _ in 0..m {
+        r.read_exact(&mut buf)?;
+        targets.push(NodeId::from_le_bytes(buf));
+    }
+    CsrGraph::from_parts(offsets, targets)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Write the graph as a directed edge list, one `u v` pair per line.
+pub fn write_edge_list<W: Write>(g: &CsrGraph, w: &mut W) -> io::Result<()> {
+    let mut bw = io::BufWriter::new(w);
+    writeln!(bw, "# nodes {} edges {}", g.num_nodes(), g.num_edges())?;
+    for (u, v) in g.edges() {
+        writeln!(bw, "{u} {v}")?;
+    }
+    bw.flush()
+}
+
+/// Parse an edge list (lines of `u v`; `#` comments ignored). The node count
+/// is inferred as `max id + 1` unless a larger `min_nodes` is given.
+pub fn read_edge_list<R: Read>(r: &mut R, min_nodes: usize) -> io::Result<CsrGraph> {
+    let mut text = String::new();
+    r.read_to_string(&mut text)?;
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut max_id: NodeId = 0;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let (u, v) = match (it.next(), it.next()) {
+            (Some(a), Some(b)) => {
+                let u: NodeId = a
+                    .parse()
+                    .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad node id"))?;
+                let v: NodeId = b
+                    .parse()
+                    .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad node id"))?;
+                (u, v)
+            }
+            _ => return Err(io::Error::new(io::ErrorKind::InvalidData, "short line")),
+        };
+        max_id = max_id.max(u).max(v);
+        edges.push((u, v));
+    }
+    let n = ((max_id as usize) + 1).max(min_nodes).max(1);
+    let mut b = crate::builder::GraphBuilder::new(n).directed();
+    b.extend(edges);
+    Ok(b.build())
+}
+
+const FEAT_MAGIC: &[u8; 8] = b"MGNNFEA1";
+
+/// Serialize a feature store (features + labels + class count).
+pub fn write_features<W: Write>(f: &crate::FeatureStore, w: &mut W) -> io::Result<()> {
+    w.write_all(FEAT_MAGIC)?;
+    w.write_all(&(f.num_nodes() as u64).to_le_bytes())?;
+    w.write_all(&(f.dim() as u64).to_le_bytes())?;
+    w.write_all(&(f.num_classes() as u64).to_le_bytes())?;
+    for &v in f.raw() {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    for &l in f.labels() {
+        w.write_all(&l.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Deserialize a feature store.
+pub fn read_features<R: Read>(r: &mut R) -> io::Result<crate::FeatureStore> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != FEAT_MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad feature magic"));
+    }
+    let n = read_u64(r)? as usize;
+    let dim = read_u64(r)? as usize;
+    let classes = read_u64(r)? as usize;
+    if n > (1 << 33) || dim > (1 << 20) || classes == 0 || classes > (1 << 24) {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "size out of range"));
+    }
+    let mut data = Vec::with_capacity(n * dim);
+    let mut b4 = [0u8; 4];
+    for _ in 0..n * dim {
+        r.read_exact(&mut b4)?;
+        data.push(f32::from_le_bytes(b4));
+    }
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        r.read_exact(&mut b4)?;
+        let l = u32::from_le_bytes(b4);
+        if (l as usize) >= classes {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "label out of range"));
+        }
+        labels.push(l);
+    }
+    Ok(crate::FeatureStore::from_parts(n, dim, data, labels, classes))
+}
+
+const DSET_MAGIC: &[u8; 8] = b"MGNNDST1";
+
+/// Serialize a full [`crate::Dataset`] (graph + features + splits) —
+/// lets the benchmark harness cache generated datasets on disk.
+pub fn write_dataset<W: Write>(d: &crate::Dataset, w: &mut W) -> io::Result<()> {
+    w.write_all(DSET_MAGIC)?;
+    w.write_all(&[dataset_kind_tag(d.kind)])?;
+    write_csr(&d.graph, w)?;
+    write_features(&d.features, w)?;
+    for split in [&d.train_nodes, &d.val_nodes, &d.test_nodes] {
+        w.write_all(&(split.len() as u64).to_le_bytes())?;
+        for &u in split.iter() {
+            w.write_all(&u.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Deserialize a full dataset.
+pub fn read_dataset<R: Read>(r: &mut R) -> io::Result<crate::Dataset> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != DSET_MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad dataset magic"));
+    }
+    let mut tag = [0u8; 1];
+    r.read_exact(&mut tag)?;
+    let kind = dataset_kind_from_tag(tag[0])
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad dataset tag"))?;
+    let graph = read_csr(r)?;
+    let features = read_features(r)?;
+    if features.num_nodes() != graph.num_nodes() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "feature/graph node count mismatch",
+        ));
+    }
+    let mut splits: Vec<Vec<NodeId>> = Vec::with_capacity(3);
+    for _ in 0..3 {
+        let len = read_u64(r)? as usize;
+        if len > graph.num_nodes() {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "split too large"));
+        }
+        let mut v = Vec::with_capacity(len);
+        let mut b4 = [0u8; 4];
+        for _ in 0..len {
+            r.read_exact(&mut b4)?;
+            let u = NodeId::from_le_bytes(b4);
+            if (u as usize) >= graph.num_nodes() {
+                return Err(io::Error::new(io::ErrorKind::InvalidData, "split id oob"));
+            }
+            v.push(u);
+        }
+        splits.push(v);
+    }
+    let test_nodes = splits.pop().unwrap();
+    let val_nodes = splits.pop().unwrap();
+    let train_nodes = splits.pop().unwrap();
+    Ok(crate::Dataset {
+        kind,
+        graph,
+        features,
+        train_nodes,
+        val_nodes,
+        test_nodes,
+    })
+}
+
+fn dataset_kind_tag(k: crate::DatasetKind) -> u8 {
+    match k {
+        crate::DatasetKind::Arxiv => 0,
+        crate::DatasetKind::Products => 1,
+        crate::DatasetKind::Reddit => 2,
+        crate::DatasetKind::Papers => 3,
+    }
+}
+
+fn dataset_kind_from_tag(t: u8) -> Option<crate::DatasetKind> {
+    match t {
+        0 => Some(crate::DatasetKind::Arxiv),
+        1 => Some(crate::DatasetKind::Products),
+        2 => Some(crate::DatasetKind::Reddit),
+        3 => Some(crate::DatasetKind::Papers),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::erdos_renyi;
+
+    #[test]
+    fn binary_round_trip() {
+        let g = erdos_renyi(200, 800, 3);
+        let mut buf = Vec::new();
+        write_csr(&g, &mut buf).unwrap();
+        let g2 = read_csr(&mut buf.as_slice()).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let mut buf = b"NOTMAGIC".to_vec();
+        buf.extend_from_slice(&[0u8; 16]);
+        assert!(read_csr(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn binary_rejects_truncated() {
+        let g = erdos_renyi(50, 100, 1);
+        let mut buf = Vec::new();
+        write_csr(&g, &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_csr(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn edge_list_round_trip() {
+        let g = erdos_renyi(100, 300, 9);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(&mut buf.as_slice(), g.num_nodes()).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn edge_list_parses_comments_and_blank_lines() {
+        let text = "# comment\n\n0 1\n1 0\n";
+        let g = read_edge_list(&mut text.as_bytes(), 0).unwrap();
+        assert_eq!(g.num_nodes(), 2);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn edge_list_rejects_garbage() {
+        assert!(read_edge_list(&mut "0 x".as_bytes(), 0).is_err());
+        assert!(read_edge_list(&mut "17".as_bytes(), 0).is_err());
+    }
+
+    #[test]
+    fn edge_list_min_nodes_pads_isolated() {
+        let g = read_edge_list(&mut "0 1".as_bytes(), 10).unwrap();
+        assert_eq!(g.num_nodes(), 10);
+    }
+
+    #[test]
+    fn features_round_trip() {
+        let g = erdos_renyi(80, 240, 2);
+        let f = crate::FeatureStore::synthesize(&g, 6, 4, 5);
+        let mut buf = Vec::new();
+        write_features(&f, &mut buf).unwrap();
+        let f2 = read_features(&mut buf.as_slice()).unwrap();
+        assert_eq!(f, f2);
+    }
+
+    #[test]
+    fn features_reject_corrupt_label() {
+        let g = erdos_renyi(10, 30, 1);
+        let f = crate::FeatureStore::synthesize(&g, 2, 2, 1);
+        let mut buf = Vec::new();
+        write_features(&f, &mut buf).unwrap();
+        // Corrupt the final label to an out-of-range class.
+        let n = buf.len();
+        buf[n - 4..].copy_from_slice(&999u32.to_le_bytes());
+        assert!(read_features(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn dataset_round_trip() {
+        let d = crate::Dataset::generate(crate::DatasetKind::Arxiv, crate::Scale::Unit, 9);
+        let mut buf = Vec::new();
+        write_dataset(&d, &mut buf).unwrap();
+        let d2 = read_dataset(&mut buf.as_slice()).unwrap();
+        assert_eq!(d.kind, d2.kind);
+        assert_eq!(d.graph, d2.graph);
+        assert_eq!(d.features, d2.features);
+        assert_eq!(d.train_nodes, d2.train_nodes);
+        assert_eq!(d.val_nodes, d2.val_nodes);
+        assert_eq!(d.test_nodes, d2.test_nodes);
+    }
+
+    #[test]
+    fn dataset_rejects_truncation() {
+        let d = crate::Dataset::generate(crate::DatasetKind::Arxiv, crate::Scale::Unit, 3);
+        let mut buf = Vec::new();
+        write_dataset(&d, &mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(read_dataset(&mut buf.as_slice()).is_err());
+    }
+}

@@ -1,0 +1,140 @@
+//! Synchronous data-parallel gradient averaging.
+//!
+//! PyTorch DDP allreduces gradients during the backward pass; the paper's
+//! trainers synchronize every minibatch (Algorithm 1 line 15). Here the
+//! trainers live in one process, so the ring allreduce is implemented
+//! directly over their flat gradient buffers — numerically identical to
+//! the distributed version (chunked reduce-scatter + allgather), with the
+//! communication *cost* charged by `mgnn_net::CostModel::t_allreduce`.
+
+/// Average `world` gradient buffers in place via a chunked ring
+/// reduce-scatter + allgather. All buffers must have equal length; after
+/// the call every buffer holds the elementwise mean.
+pub fn ring_allreduce_average(grads: &mut [Vec<f32>]) {
+    let world = grads.len();
+    if world == 0 {
+        return;
+    }
+    let len = grads[0].len();
+    assert!(
+        grads.iter().all(|g| g.len() == len),
+        "gradient buffers must have equal length"
+    );
+    if world == 1 {
+        return;
+    }
+
+    // Chunk boundaries: world chunks of ~len/world.
+    let bounds: Vec<(usize, usize)> = (0..world)
+        .map(|c| {
+            let s = c * len / world;
+            let e = (c + 1) * len / world;
+            (s, e)
+        })
+        .collect();
+
+    // Reduce-scatter: after world-1 steps, rank r holds the full sum of
+    // chunk (r+1) mod world.
+    for step in 0..world - 1 {
+        for r in 0..world {
+            // Rank r sends chunk (r - step) to rank (r+1); emulate by
+            // accumulating into the receiver in a temporary pass.
+            let chunk = (r + world - step) % world;
+            let (s, e) = bounds[chunk];
+            let src_rank = r;
+            let dst_rank = (r + 1) % world;
+            // Accumulate src's chunk into dst. Split borrow.
+            if s == e {
+                continue;
+            }
+            let (src_chunk, dst): (Vec<f32>, &mut Vec<f32>) = {
+                let tmp = grads[src_rank][s..e].to_vec();
+                (tmp, &mut grads[dst_rank])
+            };
+            for (d, v) in dst[s..e].iter_mut().zip(src_chunk) {
+                *d += v;
+            }
+        }
+    }
+    // Allgather: propagate each completed chunk around the ring.
+    for step in 0..world - 1 {
+        for r in 0..world {
+            let chunk = (r + 1 + world - step) % world;
+            let (s, e) = bounds[chunk];
+            if s == e {
+                continue;
+            }
+            let dst_rank = (r + 1) % world;
+            let src_chunk = grads[r][s..e].to_vec();
+            grads[dst_rank][s..e].copy_from_slice(&src_chunk);
+        }
+    }
+    // Average.
+    let inv = 1.0 / world as f32;
+    for g in grads.iter_mut() {
+        for v in g.iter_mut() {
+            *v *= inv;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_average(grads: &[Vec<f32>]) -> Vec<f32> {
+        let len = grads[0].len();
+        let mut out = vec![0.0f32; len];
+        for g in grads {
+            for (o, &v) in out.iter_mut().zip(g) {
+                *o += v;
+            }
+        }
+        let inv = 1.0 / grads.len() as f32;
+        out.iter_mut().for_each(|v| *v *= inv);
+        out
+    }
+
+    #[test]
+    fn matches_naive_average() {
+        for world in [2usize, 3, 4, 7] {
+            for len in [1usize, 5, 16, 33] {
+                let mut grads: Vec<Vec<f32>> = (0..world)
+                    .map(|r| (0..len).map(|i| (r * 31 + i) as f32 * 0.1).collect())
+                    .collect();
+                let expected = naive_average(&grads);
+                ring_allreduce_average(&mut grads);
+                for g in &grads {
+                    for (a, b) in g.iter().zip(&expected) {
+                        assert!((a - b).abs() < 1e-4, "world={world} len={len}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_rank_untouched() {
+        let mut grads = vec![vec![1.0, 2.0, 3.0]];
+        ring_allreduce_average(&mut grads);
+        assert_eq!(grads[0], vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn all_ranks_agree_after() {
+        let mut grads: Vec<Vec<f32>> = (0..5).map(|r| vec![r as f32; 10]).collect();
+        ring_allreduce_average(&mut grads);
+        for g in &grads {
+            for &v in g {
+                assert!((v - 2.0).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        let mut grads = vec![vec![0.0; 3], vec![0.0; 4]];
+        ring_allreduce_average(&mut grads);
+    }
+}

@@ -1,0 +1,212 @@
+//! Graph Convolutional Network layer (Kipf & Welling, block-sampled form)
+//! — an extension beyond the paper's GraphSAGE/GAT pair, reinforcing the
+//! claim that the prefetch scheme is architecture-agnostic.
+//!
+//! Per layer, with self-loop and mean normalization over the sampled
+//! neighborhood: `out_i = act( mean_{j ∈ N(i) ∪ {i}} h_j · W + b )`.
+
+use mgnn_sampling::Block;
+use mgnn_tensor::ops::{relu, relu_backward};
+use mgnn_tensor::{Linear, Tensor};
+
+/// One GCN convolution layer.
+#[derive(Debug, Clone)]
+pub struct GcnLayer {
+    /// The shared projection.
+    pub w: Linear,
+    cached: Option<GcnCache>,
+}
+
+#[derive(Debug, Clone)]
+struct GcnCache {
+    block: Block,
+    src_rows: usize,
+    pre: Tensor,
+    activated: bool,
+}
+
+impl GcnLayer {
+    /// New layer `in_dim → out_dim`.
+    pub fn new(in_dim: usize, out_dim: usize, seed: u64) -> Self {
+        GcnLayer {
+            w: Linear::new(in_dim, out_dim, seed),
+            cached: None,
+        }
+    }
+
+    /// Mean over `N(i) ∪ {i}` of the src rows.
+    fn aggregate(block: &Block, src: &Tensor) -> Tensor {
+        let dim = src.cols();
+        let mut agg = Tensor::zeros(block.num_dst, dim);
+        for i in 0..block.num_dst {
+            let nbrs = block.neighbors_of(i);
+            let inv = 1.0 / (nbrs.len() + 1) as f32;
+            let row = agg.row_mut(i);
+            // self
+            for (r, &v) in row.iter_mut().zip(src.row(i)) {
+                *r += v;
+            }
+            for &j in nbrs {
+                for (r, &v) in row.iter_mut().zip(src.row(j as usize)) {
+                    *r += v;
+                }
+            }
+            for r in row.iter_mut() {
+                *r *= inv;
+            }
+        }
+        agg
+    }
+
+    fn aggregate_backward(block: &Block, grad_agg: &Tensor, grad_src: &mut Tensor) {
+        for i in 0..block.num_dst {
+            let nbrs = block.neighbors_of(i);
+            let inv = 1.0 / (nbrs.len() + 1) as f32;
+            let g = grad_agg.row(i);
+            {
+                let dst = grad_src.row_mut(i);
+                for (d, &v) in dst.iter_mut().zip(g) {
+                    *d += v * inv;
+                }
+            }
+            for &j in nbrs {
+                let dst = grad_src.row_mut(j as usize);
+                for (d, &v) in dst.iter_mut().zip(g) {
+                    *d += v * inv;
+                }
+            }
+        }
+    }
+
+    /// Forward over one block (`activate` applies ReLU for hidden layers).
+    pub fn forward(&mut self, block: &Block, src: &Tensor, activate: bool) -> Tensor {
+        assert_eq!(src.rows(), block.num_src());
+        let agg = Self::aggregate(block, src);
+        let pre = self.w.forward(&agg);
+        let out = if activate { relu(&pre) } else { pre.clone() };
+        self.cached = Some(GcnCache {
+            block: block.clone(),
+            src_rows: src.rows(),
+            pre,
+            activated: activate,
+        });
+        out
+    }
+
+    /// Backward: returns grad w.r.t. `src`.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self.cached.take().expect("backward before forward");
+        let grad_pre = if cache.activated {
+            relu_backward(grad_out, &cache.pre)
+        } else {
+            grad_out.clone()
+        };
+        let grad_agg = self.w.backward(&grad_pre);
+        let mut grad_src = Tensor::zeros(cache.src_rows, self.w.in_dim());
+        Self::aggregate_backward(&cache.block, &grad_agg, &mut grad_src);
+        grad_src
+    }
+
+    /// Zero accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.w.zero_grad();
+    }
+
+    /// Scalar parameter count.
+    pub fn num_params(&self) -> usize {
+        self.w.num_params()
+    }
+}
+
+/// A stacked GCN.
+#[derive(Debug, Clone)]
+pub struct GcnModel {
+    /// The layers, input to output.
+    pub layers: Vec<GcnLayer>,
+}
+
+impl GcnModel {
+    /// `dims = [in, hidden, ..., out]`.
+    pub fn new(dims: &[usize], seed: u64) -> Self {
+        assert!(dims.len() >= 2);
+        let layers = dims
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| GcnLayer::new(w[0], w[1], seed.wrapping_add(i as u64 * 6151)))
+            .collect();
+        GcnModel { layers }
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_block() -> Block {
+        Block {
+            num_dst: 2,
+            src_nodes: vec![100, 101, 102, 103],
+            offsets: vec![0, 2, 3],
+            indices: vec![2, 3, 0],
+        }
+    }
+
+    #[test]
+    fn aggregate_includes_self() {
+        let src = Tensor::from_vec(4, 1, vec![1.0, 2.0, 3.0, 5.0]);
+        let agg = GcnLayer::aggregate(&toy_block(), &src);
+        // dst0: mean(self=1, 3, 5) = 3; dst1: mean(self=2, 1) = 1.5
+        assert!((agg.get(0, 0) - 3.0).abs() < 1e-6);
+        assert!((agg.get(1, 0) - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let block = toy_block();
+        let mut layer = GcnLayer::new(2, 2, 11);
+        let src = Tensor::from_vec(4, 2, vec![0.3, -0.1, 0.2, 0.4, -0.5, 0.6, 0.1, -0.2]);
+        let loss_of = |layer: &GcnLayer, src: &Tensor| -> f32 {
+            let mut l = layer.clone();
+            l.forward(&block, src, true).data().iter().sum()
+        };
+        let out = layer.forward(&block, &src, true);
+        let ones = Tensor::from_vec(out.rows(), out.cols(), vec![1.0; out.rows() * out.cols()]);
+        layer.zero_grad();
+        let grad_src = layer.backward(&ones);
+        let eps = 1e-3f32;
+        for idx in 0..8 {
+            let mut xp = src.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = src.clone();
+            xm.data_mut()[idx] -= eps;
+            let num = (loss_of(&layer, &xp) - loss_of(&layer, &xm)) / (2.0 * eps);
+            assert!(
+                (num - grad_src.data()[idx]).abs() < 1e-2,
+                "dX[{idx}] {num} vs {}",
+                grad_src.data()[idx]
+            );
+        }
+        for idx in 0..4 {
+            let mut lp = layer.clone();
+            lp.w.weight.data_mut()[idx] += eps;
+            let mut lm = layer.clone();
+            lm.w.weight.data_mut()[idx] -= eps;
+            let num = (loss_of(&lp, &src) - loss_of(&lm, &src)) / (2.0 * eps);
+            let ana = layer.w.grad_weight.data()[idx];
+            assert!((num - ana).abs() < 1e-2, "dW[{idx}] {num} vs {ana}");
+        }
+    }
+
+    #[test]
+    fn model_shapes() {
+        let m = GcnModel::new(&[8, 16, 3], 3);
+        assert_eq!(m.num_layers(), 2);
+        assert_eq!(m.layers[0].w.in_dim(), 8);
+        assert_eq!(m.layers[1].w.out_dim(), 3);
+    }
+}

@@ -1,0 +1,26 @@
+//! # mgnn-model — GraphSAGE, GAT, DDP training
+//!
+//! The paper's workloads: a 2-layer mean-aggregator [GraphSAGE](sage) with
+//! fanout `{10, 25}` (§V) and a 2-head [GAT](gat) (§V-A4), trained with
+//! synchronous data-parallel SGD — gradients ring-allreduced across all
+//! trainer PEs every minibatch ([`ddp`]).
+//!
+//! Every layer implements an explicit `forward`/`backward` pair over
+//! [`mgnn_sampling::Block`]s, with gradient correctness pinned by
+//! finite-difference tests. [`Model`] abstracts parameter/gradient
+//! flattening so DDP and the optimizers work on plain `f32` slices.
+
+pub mod ddp;
+pub mod gat;
+pub mod gcn;
+pub mod model;
+pub mod optim;
+pub mod sage;
+pub mod train;
+
+pub use ddp::ring_allreduce_average;
+pub use gat::GatModel;
+pub use gcn::GcnModel;
+pub use model::{load_params, save_params, Model, ModelKind};
+pub use optim::{Adam, Optimizer, Sgd};
+pub use sage::SageModel;

@@ -1,0 +1,544 @@
+//! The [`Model`] abstraction: forward/backward over sampled blocks plus
+//! flat parameter/gradient views for DDP and the optimizers.
+
+use crate::gat::GatModel;
+use crate::gcn::GcnModel;
+use crate::sage::SageModel;
+use mgnn_sampling::Block;
+use mgnn_tensor::Tensor;
+
+/// Which architecture an experiment trains (the paper evaluates both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// Mean-aggregator GraphSAGE (primary workload, Fig. 6).
+    Sage,
+    /// 2-head GAT (§V-A4, Fig. 7).
+    Gat,
+    /// GCN (extension beyond the paper's pair).
+    Gcn,
+}
+
+impl ModelKind {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelKind::Sage => "GraphSAGE",
+            ModelKind::Gat => "GAT",
+            ModelKind::Gcn => "GCN",
+        }
+    }
+}
+
+/// A trainable GNN over sampled blocks.
+pub trait Model: Send {
+    /// Forward through all layers; `blocks.len()` must equal the layer
+    /// count; `input` holds features of `blocks[0]`'s src nodes. Returns
+    /// logits on the seed nodes.
+    fn forward(&mut self, blocks: &[Block], input: &Tensor) -> Tensor;
+
+    /// Backward from logits gradient; accumulates parameter gradients.
+    fn backward(&mut self, grad_logits: &Tensor);
+
+    /// Zero all parameter gradients.
+    fn zero_grad(&mut self);
+
+    /// Total scalar parameter count.
+    fn num_params(&self) -> usize;
+
+    /// Copy parameters into a flat buffer (length `num_params`).
+    fn write_params(&self, out: &mut [f32]);
+
+    /// Load parameters from a flat buffer.
+    fn read_params(&mut self, src: &[f32]);
+
+    /// Copy gradients into a flat buffer.
+    fn write_grads(&self, out: &mut [f32]);
+
+    /// Load gradients from a flat buffer (post-allreduce).
+    fn read_grads(&mut self, src: &[f32]);
+
+    /// Estimated multiply-accumulates of one forward+backward over
+    /// `blocks` — feeds the cost model's `t_ddp`.
+    fn macs(&self, blocks: &[Block]) -> f64;
+}
+
+impl Model for SageModel {
+    fn forward(&mut self, blocks: &[Block], input: &Tensor) -> Tensor {
+        assert_eq!(blocks.len(), self.layers.len(), "blocks/layers mismatch");
+        let n = self.layers.len();
+        let mut h = input.clone();
+        for (i, (layer, block)) in self.layers.iter_mut().zip(blocks).enumerate() {
+            let activate = i + 1 < n;
+            h = layer.forward(block, &h, activate);
+        }
+        h
+    }
+
+    fn backward(&mut self, grad_logits: &Tensor) {
+        let mut g = grad_logits.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+    }
+
+    fn zero_grad(&mut self) {
+        for l in &mut self.layers {
+            l.zero_grad();
+        }
+    }
+
+    fn num_params(&self) -> usize {
+        self.layers.iter().map(|l| l.num_params()).sum()
+    }
+
+    fn write_params(&self, out: &mut [f32]) {
+        let mut at = 0;
+        for l in &self.layers {
+            at += l.w_self.write_params(&mut out[at..]);
+            at += l.w_neigh.write_params(&mut out[at..]);
+        }
+        debug_assert_eq!(at, self.num_params());
+    }
+
+    fn read_params(&mut self, src: &[f32]) {
+        let mut at = 0;
+        for l in &mut self.layers {
+            at += l.w_self.read_params(&src[at..]);
+            at += l.w_neigh.read_params(&src[at..]);
+        }
+    }
+
+    fn write_grads(&self, out: &mut [f32]) {
+        let mut at = 0;
+        for l in &self.layers {
+            at += l.w_self.write_grads(&mut out[at..]);
+            at += l.w_neigh.write_grads(&mut out[at..]);
+        }
+    }
+
+    fn read_grads(&mut self, src: &[f32]) {
+        let mut at = 0;
+        for l in &mut self.layers {
+            at += l.w_self.read_grads(&src[at..]);
+            at += l.w_neigh.read_grads(&src[at..]);
+        }
+    }
+
+    fn macs(&self, blocks: &[Block]) -> f64 {
+        // Forward: per layer, (src rows × in × out) for the self+neigh
+        // linears, plus aggregation edge work; backward ≈ 2× forward.
+        let mut total = 0.0;
+        for (layer, block) in self.layers.iter().zip(blocks) {
+            let in_d = layer.w_self.in_dim() as f64;
+            let out_d = layer.w_self.out_dim() as f64;
+            let rows = block.num_dst as f64;
+            total += 2.0 * rows * in_d * out_d; // two linears
+            total += block.num_edges() as f64 * in_d; // aggregation
+        }
+        total * 3.0 // fwd + bwd(×2)
+    }
+}
+
+impl Model for GatModel {
+    fn forward(&mut self, blocks: &[Block], input: &Tensor) -> Tensor {
+        assert_eq!(blocks.len(), self.layers.len(), "blocks/layers mismatch");
+        let n = self.layers.len();
+        self.relu_inputs.clear();
+        let mut h = input.clone();
+        for (i, (layer, block)) in self.layers.iter_mut().zip(blocks).enumerate() {
+            h = layer.forward(block, &h);
+            if i + 1 < n {
+                // Inter-layer ReLU (the usual GAT uses ELU; ReLU keeps the
+                // backward a pure mask). The post-ReLU activation doubles
+                // as the mask: relu'(x) = 1 ⇔ relu(x) > 0.
+                h = mgnn_tensor::ops::relu(&h);
+                self.relu_inputs.push(h.clone());
+            }
+        }
+        h
+    }
+
+    fn backward(&mut self, grad_logits: &Tensor) {
+        let n = self.layers.len();
+        let mut g = grad_logits.clone();
+        for i in (0..n).rev() {
+            g = self.layers[i].backward(&g);
+            if i > 0 {
+                // `g` now aligns with layer i's input = relu(layer i-1 out);
+                // apply the ReLU mask before descending further.
+                g = mask_by_forward_positive(&g, &self.relu_inputs[i - 1]);
+            }
+        }
+        self.relu_inputs.clear();
+    }
+
+    fn zero_grad(&mut self) {
+        for l in &mut self.layers {
+            l.zero_grad();
+        }
+    }
+
+    fn num_params(&self) -> usize {
+        self.layers.iter().map(|l| l.num_params()).sum()
+    }
+
+    fn write_params(&self, out: &mut [f32]) {
+        let mut at = 0;
+        for l in &self.layers {
+            at += l.w.write_params(&mut out[at..]);
+            out[at..at + l.a_l.len()].copy_from_slice(&l.a_l);
+            at += l.a_l.len();
+            out[at..at + l.a_r.len()].copy_from_slice(&l.a_r);
+            at += l.a_r.len();
+        }
+        debug_assert_eq!(at, self.num_params());
+    }
+
+    fn read_params(&mut self, src: &[f32]) {
+        let mut at = 0;
+        for l in &mut self.layers {
+            at += l.w.read_params(&src[at..]);
+            let n = l.a_l.len();
+            l.a_l.copy_from_slice(&src[at..at + n]);
+            at += n;
+            let n = l.a_r.len();
+            l.a_r.copy_from_slice(&src[at..at + n]);
+            at += n;
+        }
+    }
+
+    fn write_grads(&self, out: &mut [f32]) {
+        let mut at = 0;
+        for l in &self.layers {
+            at += l.w.write_grads(&mut out[at..]);
+            out[at..at + l.grad_a_l.len()].copy_from_slice(&l.grad_a_l);
+            at += l.grad_a_l.len();
+            out[at..at + l.grad_a_r.len()].copy_from_slice(&l.grad_a_r);
+            at += l.grad_a_r.len();
+        }
+    }
+
+    fn read_grads(&mut self, src: &[f32]) {
+        let mut at = 0;
+        for l in &mut self.layers {
+            at += l.w.read_grads(&src[at..]);
+            let n = l.grad_a_l.len();
+            l.grad_a_l.copy_from_slice(&src[at..at + n]);
+            at += n;
+            let n = l.grad_a_r.len();
+            l.grad_a_r.copy_from_slice(&src[at..at + n]);
+            at += n;
+        }
+    }
+
+    fn macs(&self, blocks: &[Block]) -> f64 {
+        let mut total = 0.0;
+        for (layer, block) in self.layers.iter().zip(blocks) {
+            let in_d = layer.w.in_dim() as f64;
+            let out_d = layer.w.out_dim() as f64;
+            let rows = block.num_src() as f64;
+            total += rows * in_d * out_d; // projection
+            // Attention: per edge (incl. self) per head, dot products.
+            let edges = (block.num_edges() + block.num_dst) as f64;
+            total += edges * layer.heads as f64 * layer.head_dim as f64 * 3.0;
+        }
+        total * 3.0
+    }
+}
+
+impl Model for GcnModel {
+    fn forward(&mut self, blocks: &[Block], input: &Tensor) -> Tensor {
+        assert_eq!(blocks.len(), self.layers.len(), "blocks/layers mismatch");
+        let n = self.layers.len();
+        let mut h = input.clone();
+        for (i, (layer, block)) in self.layers.iter_mut().zip(blocks).enumerate() {
+            let activate = i + 1 < n;
+            h = layer.forward(block, &h, activate);
+        }
+        h
+    }
+
+    fn backward(&mut self, grad_logits: &Tensor) {
+        let mut g = grad_logits.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+    }
+
+    fn zero_grad(&mut self) {
+        for l in &mut self.layers {
+            l.zero_grad();
+        }
+    }
+
+    fn num_params(&self) -> usize {
+        self.layers.iter().map(|l| l.num_params()).sum()
+    }
+
+    fn write_params(&self, out: &mut [f32]) {
+        let mut at = 0;
+        for l in &self.layers {
+            at += l.w.write_params(&mut out[at..]);
+        }
+        debug_assert_eq!(at, self.num_params());
+    }
+
+    fn read_params(&mut self, src: &[f32]) {
+        let mut at = 0;
+        for l in &mut self.layers {
+            at += l.w.read_params(&src[at..]);
+        }
+    }
+
+    fn write_grads(&self, out: &mut [f32]) {
+        let mut at = 0;
+        for l in &self.layers {
+            at += l.w.write_grads(&mut out[at..]);
+        }
+    }
+
+    fn read_grads(&mut self, src: &[f32]) {
+        let mut at = 0;
+        for l in &mut self.layers {
+            at += l.w.read_grads(&src[at..]);
+        }
+    }
+
+    fn macs(&self, blocks: &[Block]) -> f64 {
+        let mut total = 0.0;
+        for (layer, block) in self.layers.iter().zip(blocks) {
+            let in_d = layer.w.in_dim() as f64;
+            let out_d = layer.w.out_dim() as f64;
+            total += block.num_dst as f64 * in_d * out_d; // projection
+            total += (block.num_edges() + block.num_dst) as f64 * in_d; // aggregation
+        }
+        total * 3.0
+    }
+}
+
+/// Serialize a model's parameters to little-endian bytes (a checkpoint).
+///
+/// ```
+/// use mgnn_model::{Model, SageModel, save_params, load_params};
+/// let model = SageModel::new(&[4, 8, 3], 7);
+/// let bytes = save_params(&model);
+/// let mut restored = SageModel::new(&[4, 8, 3], 99);
+/// load_params(&mut restored, &bytes).unwrap();
+/// let mut a = vec![0.0; Model::num_params(&model)];
+/// let mut b = vec![0.0; Model::num_params(&restored)];
+/// model.write_params(&mut a);
+/// restored.write_params(&mut b);
+/// assert_eq!(a, b);
+/// ```
+pub fn save_params(model: &dyn Model) -> Vec<u8> {
+    let mut params = vec![0.0f32; model.num_params()];
+    model.write_params(&mut params);
+    let mut out = Vec::with_capacity(8 + params.len() * 4);
+    out.extend_from_slice(&(params.len() as u64).to_le_bytes());
+    for v in params {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Restore parameters saved by [`save_params`]. Fails if the byte length
+/// or parameter count does not match the model.
+pub fn load_params(model: &mut dyn Model, bytes: &[u8]) -> Result<(), String> {
+    if bytes.len() < 8 {
+        return Err("checkpoint truncated".into());
+    }
+    let n = u64::from_le_bytes(bytes[..8].try_into().unwrap()) as usize;
+    if n != model.num_params() {
+        return Err(format!(
+            "checkpoint has {n} params, model expects {}",
+            model.num_params()
+        ));
+    }
+    if bytes.len() != 8 + n * 4 {
+        return Err("checkpoint length mismatch".into());
+    }
+    let mut params = Vec::with_capacity(n);
+    for c in bytes[8..].chunks_exact(4) {
+        params.push(f32::from_le_bytes(c.try_into().unwrap()));
+    }
+    model.read_params(&params);
+    Ok(())
+}
+
+fn mask_by_forward_positive(grad: &Tensor, forward_out: &Tensor) -> Tensor {
+    assert_eq!(grad.shape(), forward_out.shape());
+    let data = grad
+        .data()
+        .iter()
+        .zip(forward_out.data())
+        .map(|(&g, &x)| if x > 0.0 { g } else { 0.0 })
+        .collect();
+    Tensor::from_vec(grad.rows(), grad.cols(), data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgnn_graph::generators::erdos_renyi;
+    use mgnn_partition::{build_local_partitions, multilevel_partition};
+    use mgnn_sampling::NeighborSampler;
+    use mgnn_tensor::loss::cross_entropy;
+
+    fn training_fixture() -> (Vec<Block>, Tensor, Vec<u32>) {
+        let g = erdos_renyi(300, 3000, 5);
+        let p = multilevel_partition(&g, 2, 5);
+        let train: Vec<u32> = (0..300).collect();
+        let part = build_local_partitions(&g, &p, &train).remove(0);
+        let seeds: Vec<u32> = (0..16.min(part.num_local() as u32)).collect();
+        let sampler = NeighborSampler::new(vec![5, 5], 3);
+        let mb = sampler.sample(&part, &seeds, 0, 0);
+        let feats = mgnn_graph::FeatureStore::synthesize(&g, 8, 3, 1);
+        let input = Tensor::from_vec(
+            mb.input_nodes.len(),
+            8,
+            mb.input_nodes
+                .iter()
+                .flat_map(|&l| feats.row(part.global_id(l)).to_vec())
+                .collect(),
+        );
+        let labels: Vec<u32> = mb.seeds.iter().map(|&l| feats.label(part.global_id(l))).collect();
+        (mb.blocks, input, labels)
+    }
+
+    #[test]
+    fn sage_end_to_end_loss_decreases() {
+        let (blocks, input, labels) = training_fixture();
+        let mut model = SageModel::new(&[8, 16, 3], 7);
+        let lr = 0.1f32;
+        let mut first = f32::NAN;
+        let mut last = f32::NAN;
+        let np = Model::num_params(&model);
+        for it in 0..30 {
+            model.zero_grad();
+            let logits = Model::forward(&mut model, &blocks, &input);
+            let (loss, grad) = cross_entropy(&logits, &labels);
+            if it == 0 {
+                first = loss;
+            }
+            last = loss;
+            Model::backward(&mut model, &grad);
+            let mut params = vec![0.0f32; np];
+            let mut grads = vec![0.0f32; np];
+            model.write_params(&mut params);
+            model.write_grads(&mut grads);
+            for (p, g) in params.iter_mut().zip(&grads) {
+                *p -= lr * g;
+            }
+            model.read_params(&params);
+        }
+        assert!(last < first * 0.9, "loss did not decrease: {first} -> {last}");
+    }
+
+    #[test]
+    fn gat_end_to_end_loss_decreases() {
+        let (blocks, input, labels) = training_fixture();
+        let mut model = GatModel::new(&[8, 8, 3], 2, 11);
+        let lr = 0.05f32;
+        let np = Model::num_params(&model);
+        let mut first = f32::NAN;
+        let mut last = f32::NAN;
+        for it in 0..30 {
+            model.zero_grad();
+            let logits = Model::forward(&mut model, &blocks, &input);
+            let (loss, grad) = cross_entropy(&logits, &labels);
+            if it == 0 {
+                first = loss;
+            }
+            last = loss;
+            Model::backward(&mut model, &grad);
+            let mut params = vec![0.0f32; np];
+            let mut grads = vec![0.0f32; np];
+            model.write_params(&mut params);
+            model.write_grads(&mut grads);
+            for (p, g) in params.iter_mut().zip(&grads) {
+                *p -= lr * g;
+            }
+            model.read_params(&params);
+        }
+        assert!(last < first, "GAT loss did not decrease: {first} -> {last}");
+    }
+
+    #[test]
+    fn gcn_end_to_end_loss_decreases() {
+        let (blocks, input, labels) = training_fixture();
+        let mut model = GcnModel::new(&[8, 16, 3], 13);
+        let lr = 0.1f32;
+        let np = Model::num_params(&model);
+        let mut first = f32::NAN;
+        let mut last = f32::NAN;
+        for it in 0..30 {
+            model.zero_grad();
+            let logits = Model::forward(&mut model, &blocks, &input);
+            let (loss, grad) = cross_entropy(&logits, &labels);
+            if it == 0 {
+                first = loss;
+            }
+            last = loss;
+            Model::backward(&mut model, &grad);
+            let mut params = vec![0.0f32; np];
+            let mut grads = vec![0.0f32; np];
+            model.write_params(&mut params);
+            model.write_grads(&mut grads);
+            for (p, g) in params.iter_mut().zip(&grads) {
+                *p -= lr * g;
+            }
+            model.read_params(&params);
+        }
+        assert!(last < first * 0.95, "GCN loss did not decrease: {first} -> {last}");
+    }
+
+    #[test]
+    fn param_round_trip_both_models() {
+        let sage = SageModel::new(&[8, 16, 3], 1);
+        let mut buf = vec![0.0f32; Model::num_params(&sage)];
+        sage.write_params(&mut buf);
+        let mut sage2 = SageModel::new(&[8, 16, 3], 99);
+        sage2.read_params(&buf);
+        let mut buf2 = vec![0.0f32; buf.len()];
+        sage2.write_params(&mut buf2);
+        assert_eq!(buf, buf2);
+
+        let gat = GatModel::new(&[8, 8, 3], 2, 1);
+        let mut gbuf = vec![0.0f32; Model::num_params(&gat)];
+        gat.write_params(&mut gbuf);
+        let mut gat2 = GatModel::new(&[8, 8, 3], 2, 77);
+        gat2.read_params(&gbuf);
+        let mut gbuf2 = vec![0.0f32; gbuf.len()];
+        gat2.write_params(&mut gbuf2);
+        assert_eq!(gbuf, gbuf2);
+    }
+
+    #[test]
+    fn checkpoint_round_trip_and_rejects_mismatch() {
+        let model = SageModel::new(&[6, 8, 3], 5);
+        let bytes = crate::model::save_params(&model);
+        let mut other = SageModel::new(&[6, 8, 3], 77);
+        crate::model::load_params(&mut other, &bytes).unwrap();
+        let mut a = vec![0.0; Model::num_params(&model)];
+        let mut b = vec![0.0; Model::num_params(&other)];
+        model.write_params(&mut a);
+        other.write_params(&mut b);
+        assert_eq!(a, b);
+        // Wrong shape rejected.
+        let mut wrong = SageModel::new(&[6, 9, 3], 1);
+        assert!(crate::model::load_params(&mut wrong, &bytes).is_err());
+        // Truncation rejected.
+        assert!(crate::model::load_params(&mut other, &bytes[..bytes.len() - 1]).is_err());
+        assert!(crate::model::load_params(&mut other, &bytes[..4]).is_err());
+    }
+
+    #[test]
+    fn macs_positive_and_scale_with_blocks() {
+        let (blocks, _, _) = training_fixture();
+        let sage = SageModel::new(&[8, 16, 3], 1);
+        let m = sage.macs(&blocks);
+        assert!(m > 0.0);
+        let gat = GatModel::new(&[8, 8, 3], 2, 1);
+        assert!(gat.macs(&blocks) > 0.0);
+    }
+}

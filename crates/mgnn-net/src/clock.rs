@@ -1,0 +1,312 @@
+//! Per-trainer simulated clock.
+//!
+//! A [`SimClock`] accumulates modeled seconds. The combinator that matters
+//! for the paper is [`SimClock::advance_overlapped`]: Eq. 5's
+//! `max(t_prepare, t_DDP)` — two activities running concurrently advance
+//! the clock by the longer one, and the shorter activity's *slack* is
+//! recorded so overlap efficiency (Fig. 9) can be reported.
+
+/// Simulated wall clock for one trainer.
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    now: f64,
+    /// Total time the trainer stalled waiting for data preparation
+    /// (preparation exceeding training during overlap).
+    stall: f64,
+    /// Total slack: training exceeding preparation (preparation fully
+    /// hidden).
+    slack: f64,
+}
+
+impl SimClock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulated time in seconds.
+    #[inline]
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Advance by a serial activity of duration `dt`.
+    pub fn advance(&mut self, dt: f64) {
+        debug_assert!(dt >= 0.0, "negative duration");
+        self.now += dt;
+    }
+
+    /// Advance by two concurrent activities (Eq. 4/5 of the paper):
+    /// the clock moves by `max(a, b)`; if `a` (preparation) exceeds `b`
+    /// (training) the difference is a stall, otherwise it is slack.
+    pub fn advance_overlapped(&mut self, prepare: f64, train: f64) {
+        debug_assert!(prepare >= 0.0 && train >= 0.0);
+        self.now += prepare.max(train);
+        if prepare > train {
+            self.stall += prepare - train;
+        } else {
+            self.slack += train - prepare;
+        }
+    }
+
+    /// Cumulative stall time (trainer waiting on preparation).
+    #[inline]
+    pub fn stall(&self) -> f64 {
+        self.stall
+    }
+
+    /// Cumulative slack time (preparation fully hidden under training).
+    #[inline]
+    pub fn slack(&self) -> f64 {
+        self.slack
+    }
+
+    /// Overlap efficiency in `[0, 1]`: the fraction of overlapped rounds'
+    /// preparation time hidden under training. 1.0 = the paper's "perfect
+    /// overlap". Returns 1.0 when nothing was overlapped.
+    pub fn overlap_efficiency(&self) -> f64 {
+        let denom = self.stall + self.slack;
+        if denom == 0.0 {
+            1.0
+        } else {
+            self.slack / denom
+        }
+    }
+
+    /// Merge per-trainer clocks into the *makespan* view: distributed
+    /// training finishes when the slowest trainer does (synchronous SGD
+    /// barriers every minibatch make the max the honest aggregate).
+    pub fn makespan(clocks: &[SimClock]) -> f64 {
+        clocks.iter().map(|c| c.now).fold(0.0, f64::max)
+    }
+}
+
+/// Simulated clock for a two-stage pipeline with a bounded look-ahead
+/// queue of depth `k` — the generalization of Eq. 5 beyond the paper's
+/// `k = 1` (its future-work direction: "options to prefetch future
+/// minibatches can pave the way towards a sustainable perfect overlap").
+///
+/// Stage 1 (preparation) produces batches into the queue; stage 2
+/// (training) consumes them. Preparation of batch `i` may start once the
+/// prepare server is free **and** batch `i−k` has been popped for
+/// training (queue slot freed):
+///
+/// ```text
+/// prep_start(i)  = max(prep_done(i−1), train_start(i−k))
+/// prep_done(i)   = prep_start(i) + t_prep(i)
+/// train_start(i) = max(train_done(i−1), prep_done(i))
+/// train_done(i)  = train_start(i) + t_train(i)
+/// ```
+///
+/// With `k = 1` this reduces exactly to the paper's Eq. 4/5. Deeper
+/// queues do not raise steady-state throughput (the slower server still
+/// bounds it) but absorb *bursts* — e.g. the Δ-periodic eviction rounds
+/// that spike `t_prep`.
+#[derive(Debug, Clone)]
+pub struct PipelineClock {
+    lookahead: usize,
+    prep_done: f64,
+    train_done: f64,
+    /// train_start times of the last `lookahead` batches.
+    recent_train_starts: std::collections::VecDeque<f64>,
+    stall: f64,
+    slack: f64,
+    steps: u64,
+}
+
+impl PipelineClock {
+    /// A pipeline clock with queue depth `lookahead ≥ 1`, starting at
+    /// time `start` (e.g. after initialization costs).
+    pub fn new(lookahead: usize, start: f64) -> Self {
+        assert!(lookahead >= 1);
+        PipelineClock {
+            lookahead,
+            prep_done: start,
+            train_done: start,
+            recent_train_starts: std::collections::VecDeque::with_capacity(lookahead),
+            stall: 0.0,
+            slack: 0.0,
+            steps: 0,
+        }
+    }
+
+    /// Process one batch: it is prepared (respecting server and queue
+    /// constraints) and then trained.
+    pub fn step(&mut self, t_prep: f64, t_train: f64) {
+        debug_assert!(t_prep >= 0.0 && t_train >= 0.0);
+        let queue_room = if self.recent_train_starts.len() < self.lookahead {
+            f64::NEG_INFINITY // queue not yet full; prep may start immediately
+        } else {
+            // Batch i−k's train_start frees the slot.
+            *self.recent_train_starts.front().unwrap()
+        };
+        let prep_start = self.prep_done.max(queue_room);
+        let prep_done = prep_start + t_prep;
+        let train_start = self.train_done.max(prep_done);
+        // Stall: trainer idle waiting for the batch; slack: batch waited
+        // ready in the queue. The pipeline-fill warmup (first `lookahead`
+        // batches, Eq. 4's unavoidable serial preparation) is excluded
+        // from the efficiency metric, as in the paper's Fig. 9 which
+        // measures steady-state waiting.
+        if self.steps >= self.lookahead as u64 {
+            if prep_done > self.train_done {
+                self.stall += prep_done - self.train_done;
+            } else {
+                self.slack += self.train_done - prep_done;
+            }
+        }
+        let train_done = train_start + t_train;
+        self.prep_done = prep_done;
+        self.train_done = train_done;
+        if self.recent_train_starts.len() == self.lookahead {
+            self.recent_train_starts.pop_front();
+        }
+        self.recent_train_starts.push_back(train_start);
+        self.steps += 1;
+    }
+
+    /// Simulated completion time of everything processed so far.
+    pub fn now(&self) -> f64 {
+        self.train_done
+    }
+
+    /// Cumulative trainer stall time.
+    pub fn stall(&self) -> f64 {
+        self.stall
+    }
+
+    /// Overlap efficiency in `[0, 1]` (1 = every batch was ready when the
+    /// trainer wanted it).
+    pub fn overlap_efficiency(&self) -> f64 {
+        let denom = self.stall + self.slack;
+        if denom == 0.0 {
+            1.0
+        } else {
+            self.slack / denom
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_advance_accumulates() {
+        let mut c = SimClock::new();
+        c.advance(1.5);
+        c.advance(0.5);
+        assert!((c.now() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_takes_max() {
+        let mut c = SimClock::new();
+        c.advance_overlapped(1.0, 3.0);
+        assert!((c.now() - 3.0).abs() < 1e-12);
+        assert_eq!(c.stall(), 0.0);
+        assert!((c.slack() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stall_recorded_when_prepare_dominates() {
+        let mut c = SimClock::new();
+        c.advance_overlapped(5.0, 2.0);
+        assert!((c.now() - 5.0).abs() < 1e-12);
+        assert!((c.stall() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_efficiency_bounds() {
+        let mut perfect = SimClock::new();
+        perfect.advance_overlapped(1.0, 2.0);
+        assert!((perfect.overlap_efficiency() - 1.0).abs() < 1e-12);
+
+        let mut poor = SimClock::new();
+        poor.advance_overlapped(2.0, 1.0);
+        poor.advance_overlapped(2.0, 1.0);
+        assert_eq!(poor.overlap_efficiency(), 0.0);
+
+        let mut mixed = SimClock::new();
+        mixed.advance_overlapped(1.0, 2.0); // slack 1
+        mixed.advance_overlapped(3.0, 2.0); // stall 1
+        assert!((mixed.overlap_efficiency() - 0.5).abs() < 1e-12);
+
+        let untouched = SimClock::new();
+        assert_eq!(untouched.overlap_efficiency(), 1.0);
+    }
+
+    #[test]
+    fn pipeline_depth1_matches_eq5() {
+        // Constant times: steady state should advance by max(prep, train)
+        // per step, matching SimClock::advance_overlapped.
+        let mut p = PipelineClock::new(1, 0.0);
+        for _ in 0..100 {
+            p.step(2.0, 3.0);
+        }
+        // First batch: prep 2 then train 3 = 5; afterwards each step adds
+        // max(2,3)=3. The warmup batch is excluded from efficiency.
+        assert!((p.now() - (5.0 + 99.0 * 3.0)).abs() < 1e-9);
+        assert!((p.overlap_efficiency() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pipeline_throughput_bound_by_slower_server() {
+        // prep slower than train: deeper queues cannot beat the prep rate.
+        let mut d1 = PipelineClock::new(1, 0.0);
+        let mut d8 = PipelineClock::new(8, 0.0);
+        for _ in 0..200 {
+            d1.step(3.0, 1.0);
+            d8.step(3.0, 1.0);
+        }
+        assert!((d1.now() - d8.now()).abs() < 3.0 + 1e-9);
+        assert!(d1.now() >= 200.0 * 3.0);
+    }
+
+    #[test]
+    fn deeper_queue_absorbs_prep_bursts() {
+        // Bursty prep (every 8th batch is 9× slower — an eviction round),
+        // train in between is long enough to amortize the burst if the
+        // queue can run ahead.
+        let run = |k: usize| {
+            let mut p = PipelineClock::new(k, 0.0);
+            for i in 0..160 {
+                let t_prep = if i % 8 == 0 { 9.0 } else { 1.0 };
+                p.step(t_prep, 2.5);
+            }
+            p.now()
+        };
+        let shallow = run(1);
+        let deep = run(4);
+        assert!(
+            deep < shallow * 0.95,
+            "depth 4 ({deep:.1}) should absorb bursts vs depth 1 ({shallow:.1})"
+        );
+    }
+
+    #[test]
+    fn pipeline_never_faster_than_either_stage_sum() {
+        let mut p = PipelineClock::new(4, 0.0);
+        let mut prep_sum = 0.0;
+        let mut train_sum = 0.0;
+        for i in 0..50 {
+            let a = 1.0 + (i % 3) as f64;
+            let b = 2.0 - (i % 2) as f64 * 0.5;
+            prep_sum += a;
+            train_sum += b;
+            p.step(a, b);
+        }
+        assert!(p.now() + 1e-9 >= prep_sum.max(train_sum));
+        assert!(p.now() <= prep_sum + train_sum + 1e-9);
+    }
+
+    #[test]
+    fn makespan_is_max() {
+        let mut a = SimClock::new();
+        a.advance(1.0);
+        let mut b = SimClock::new();
+        b.advance(4.0);
+        assert_eq!(SimClock::makespan(&[a, b]), 4.0);
+        assert_eq!(SimClock::makespan(&[]), 0.0);
+    }
+}

@@ -1,0 +1,189 @@
+//! Simulated cluster wiring: one KVStore per partition, optional real RPC
+//! server threads, and bulk pull helpers that group requested nodes by
+//! owner partition (DistDGL batches one RPC per remote server per
+//! minibatch).
+
+use crate::kvstore::KvStore;
+use crate::rpc::{RpcClient, RpcServer};
+use mgnn_graph::{FeatureStore, NodeId};
+use std::sync::Arc;
+
+/// The in-process stand-in for a multi-node cluster.
+pub struct SimCluster {
+    stores: Vec<Arc<KvStore>>,
+    servers: Vec<RpcServer>,
+    clients: Vec<RpcClient>,
+    dim: usize,
+    /// Owner partition of every global node.
+    assignment: Vec<u32>,
+}
+
+impl SimCluster {
+    /// Build a cluster from a global feature store and a partition
+    /// `assignment` (`assignment[u]` = owner partition of node `u`).
+    /// Spawns one real server thread per partition.
+    pub fn new(features: &FeatureStore, assignment: &[u32], num_parts: usize) -> Self {
+        Self::with_rpc_delay(features, assignment, num_parts, std::time::Duration::ZERO)
+    }
+
+    /// Like [`SimCluster::new`], but every server sleeps `delay` before
+    /// answering a non-empty pull — real wall-clock network emulation for
+    /// the threaded overlap demos.
+    pub fn with_rpc_delay(
+        features: &FeatureStore,
+        assignment: &[u32],
+        num_parts: usize,
+        delay: std::time::Duration,
+    ) -> Self {
+        assert_eq!(features.num_nodes(), assignment.len());
+        let dim = features.dim();
+        let mut owned: Vec<Vec<NodeId>> = vec![Vec::new(); num_parts];
+        for (u, &p) in assignment.iter().enumerate() {
+            owned[p as usize].push(u as NodeId);
+        }
+        let stores: Vec<Arc<KvStore>> = owned
+            .into_iter()
+            .enumerate()
+            .map(|(p, ids)| {
+                let feats = features.gather(&ids);
+                let labels: Vec<u32> = ids.iter().map(|&u| features.label(u)).collect();
+                Arc::new(KvStore::new(p as u32, ids, feats, labels, dim))
+            })
+            .collect();
+        let servers: Vec<RpcServer> = stores
+            .iter()
+            .map(|s| RpcServer::spawn_with_delay(Arc::clone(s), delay))
+            .collect();
+        let clients: Vec<RpcClient> = servers.iter().map(|s| s.client()).collect();
+        SimCluster {
+            stores,
+            servers,
+            clients,
+            dim,
+            assignment: assignment.to_vec(),
+        }
+    }
+
+    /// Number of partitions.
+    pub fn num_parts(&self) -> usize {
+        self.stores.len()
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Owner partition of global node `g`.
+    pub fn owner(&self, g: NodeId) -> u32 {
+        self.assignment[g as usize]
+    }
+
+    /// Direct (same-address-space) access to a partition's store — the
+    /// *local* KVStore path, no RPC.
+    pub fn store(&self, part: u32) -> &Arc<KvStore> {
+        &self.stores[part as usize]
+    }
+
+    /// RPC client to partition `part`'s server.
+    pub fn client(&self, part: u32) -> RpcClient {
+        self.clients[part as usize].clone()
+    }
+
+    /// Pull features for arbitrary global `ids` through the RPC servers,
+    /// grouping by owner (one bulk request per touched partition, like
+    /// DistDGL). Returns rows in the order of `ids`.
+    ///
+    /// Returns the gathered features plus the number of RPCs issued.
+    pub fn pull_grouped(&self, ids: &[NodeId]) -> (Vec<f32>, usize) {
+        let p = self.num_parts();
+        let mut by_part: Vec<Vec<NodeId>> = vec![Vec::new(); p];
+        let mut position: Vec<(usize, usize)> = Vec::with_capacity(ids.len()); // (part, idx within part list)
+        for &g in ids {
+            let part = self.owner(g) as usize;
+            position.push((part, by_part[part].len()));
+            by_part[part].push(g);
+        }
+        // Issue all pulls first (async), then assemble.
+        let mut handles: Vec<Option<crate::rpc::PullHandle>> = Vec::with_capacity(p);
+        let mut rpcs = 0usize;
+        for (part, list) in by_part.iter().enumerate() {
+            if list.is_empty() {
+                handles.push(None);
+            } else {
+                rpcs += 1;
+                handles.push(Some(self.clients[part].pull_async(list.clone())));
+            }
+        }
+        let responses: Vec<Option<Vec<f32>>> =
+            handles.into_iter().map(|h| h.map(|h| h.wait())).collect();
+        let mut out = Vec::with_capacity(ids.len() * self.dim);
+        for &(part, idx) in &position {
+            let resp = responses[part].as_ref().expect("response missing");
+            out.extend_from_slice(&resp[idx * self.dim..(idx + 1) * self.dim]);
+        }
+        (out, rpcs)
+    }
+
+    /// Shut all servers down, returning total rows served per partition.
+    pub fn shutdown(self) -> Vec<u64> {
+        drop(self.clients);
+        self.servers.into_iter().map(|s| s.shutdown()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgnn_graph::generators::erdos_renyi;
+    use mgnn_graph::FeatureStore;
+
+    fn fixture() -> (FeatureStore, Vec<u32>) {
+        let g = erdos_renyi(60, 240, 3);
+        let f = FeatureStore::synthesize(&g, 8, 3, 1);
+        let assignment: Vec<u32> = (0..60).map(|u| (u % 4) as u32).collect();
+        (f, assignment)
+    }
+
+    #[test]
+    fn stores_partition_ownership() {
+        let (f, a) = fixture();
+        let c = SimCluster::new(&f, &a, 4);
+        assert_eq!(c.num_parts(), 4);
+        for u in 0..60u32 {
+            assert!(c.store(c.owner(u)).owns(u));
+        }
+        let served = c.shutdown();
+        assert_eq!(served.len(), 4);
+    }
+
+    #[test]
+    fn pull_grouped_matches_ground_truth() {
+        let (f, a) = fixture();
+        let c = SimCluster::new(&f, &a, 4);
+        let ids = vec![7u32, 3, 42, 7, 11];
+        let (out, rpcs) = c.pull_grouped(&ids);
+        assert!(rpcs <= 4 && rpcs >= 1);
+        for (i, &g) in ids.iter().enumerate() {
+            assert_eq!(&out[i * 8..(i + 1) * 8], f.row(g), "row {g}");
+        }
+    }
+
+    #[test]
+    fn pull_empty() {
+        let (f, a) = fixture();
+        let c = SimCluster::new(&f, &a, 4);
+        let (out, rpcs) = c.pull_grouped(&[]);
+        assert!(out.is_empty());
+        assert_eq!(rpcs, 0);
+    }
+
+    #[test]
+    fn labels_preserved() {
+        let (f, a) = fixture();
+        let c = SimCluster::new(&f, &a, 4);
+        for u in 0..60u32 {
+            assert_eq!(c.store(c.owner(u)).label(u), f.label(u));
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Per-partition feature KVStore, mirroring DistDGL's.
+//!
+//! Each partition's server holds the features (and labels) of the nodes it
+//! *owns*, keyed by global id. Trainers pull local rows directly and remote
+//! rows via [`crate::rpc`] or [`crate::cluster::SimCluster::pull`].
+
+use mgnn_graph::NodeId;
+
+/// Feature shard of one partition.
+#[derive(Debug, Clone)]
+pub struct KvStore {
+    part_id: u32,
+    /// Sorted global ids of owned nodes.
+    owned: Vec<NodeId>,
+    /// Row-major features, one row per owned node (aligned with `owned`).
+    features: Vec<f32>,
+    /// Labels aligned with `owned`.
+    labels: Vec<u32>,
+    dim: usize,
+}
+
+impl KvStore {
+    /// Build a shard for `part_id` owning `owned` (sorted global ids), with
+    /// rows gathered from a global feature source.
+    pub fn new(
+        part_id: u32,
+        owned: Vec<NodeId>,
+        features: Vec<f32>,
+        labels: Vec<u32>,
+        dim: usize,
+    ) -> Self {
+        assert_eq!(features.len(), owned.len() * dim);
+        assert_eq!(labels.len(), owned.len());
+        debug_assert!(owned.windows(2).all(|w| w[0] < w[1]), "owned must be sorted");
+        KvStore {
+            part_id,
+            owned,
+            features,
+            labels,
+            dim,
+        }
+    }
+
+    /// Partition id this shard belongs to.
+    #[inline]
+    pub fn part_id(&self) -> u32 {
+        self.part_id
+    }
+
+    /// Feature dimension.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of owned nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.owned.len()
+    }
+
+    /// Whether the shard is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.owned.is_empty()
+    }
+
+    /// Whether this shard owns global node `g`.
+    pub fn owns(&self, g: NodeId) -> bool {
+        self.owned.binary_search(&g).is_ok()
+    }
+
+    /// Feature row of owned global node `g`. Panics if not owned.
+    pub fn row(&self, g: NodeId) -> &[f32] {
+        let i = self
+            .owned
+            .binary_search(&g)
+            .unwrap_or_else(|_| panic!("node {g} not owned by partition {}", self.part_id));
+        &self.features[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Label of owned global node `g`.
+    pub fn label(&self, g: NodeId) -> u32 {
+        let i = self
+            .owned
+            .binary_search(&g)
+            .unwrap_or_else(|_| panic!("node {g} not owned by partition {}", self.part_id));
+        self.labels[i]
+    }
+
+    /// Bulk pull: gather rows for `ids` (all must be owned) into a dense
+    /// row-major buffer — the payload of one bulk RPC response.
+    pub fn pull(&self, ids: &[NodeId]) -> Vec<f32> {
+        let mut out = Vec::with_capacity(ids.len() * self.dim);
+        for &g in ids {
+            out.extend_from_slice(self.row(g));
+        }
+        out
+    }
+
+    /// Approximate heap bytes (the paper's Fig. 14 memory accounting).
+    pub fn heap_bytes(&self) -> usize {
+        self.features.len() * 4 + self.owned.len() * 4 + self.labels.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> KvStore {
+        // owns nodes 2, 5, 9 with dim 2
+        KvStore::new(
+            0,
+            vec![2, 5, 9],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+            vec![0, 1, 0],
+            2,
+        )
+    }
+
+    #[test]
+    fn ownership_and_rows() {
+        let s = store();
+        assert!(s.owns(5));
+        assert!(!s.owns(3));
+        assert_eq!(s.row(5), &[3.0, 4.0]);
+        assert_eq!(s.label(9), 0);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn bulk_pull_order_preserved() {
+        let s = store();
+        let out = s.pull(&[9, 2]);
+        assert_eq!(out, vec![5.0, 6.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn pull_unowned_panics() {
+        store().pull(&[3]);
+    }
+
+    #[test]
+    fn empty_store() {
+        let s = KvStore::new(1, vec![], vec![], vec![], 4);
+        assert!(s.is_empty());
+        assert_eq!(s.pull(&[]), Vec::<f32>::new());
+    }
+
+    #[test]
+    #[should_panic]
+    fn shape_mismatch_rejected() {
+        KvStore::new(0, vec![1, 2], vec![0.0; 3], vec![0, 0], 2);
+    }
+}

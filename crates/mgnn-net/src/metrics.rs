@@ -1,0 +1,206 @@
+//! Communication and prefetch counters.
+//!
+//! All counters are atomics so the prepare thread and the trainer thread
+//! can update them concurrently (the paper's Fig. 11 "remote nodes fetched"
+//! and §V-B5 communication-time analysis come straight from these).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Exact event counters for one trainer.
+#[derive(Debug, Default)]
+pub struct CommMetrics {
+    /// Bulk RPC requests issued.
+    pub rpc_calls: AtomicU64,
+    /// Remote node feature rows fetched over RPC (the paper's Fig. 11 Y).
+    pub remote_nodes_fetched: AtomicU64,
+    /// Bytes moved over the network.
+    pub remote_bytes: AtomicU64,
+    /// Local feature rows copied from the partition's own KVStore.
+    pub local_nodes_copied: AtomicU64,
+    /// Prefetch-buffer hits (sampled halo node found in buffer).
+    pub buffer_hits: AtomicU64,
+    /// Prefetch-buffer misses.
+    pub buffer_misses: AtomicU64,
+    /// Nodes evicted from the buffer.
+    pub evictions: AtomicU64,
+    /// Replacement nodes fetched on eviction rounds.
+    pub replacements_fetched: AtomicU64,
+}
+
+impl CommMetrics {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one bulk RPC fetching `nodes` rows of `dim` f32 features.
+    pub fn record_rpc(&self, nodes: u64, dim: usize) {
+        if nodes == 0 {
+            return;
+        }
+        self.rpc_calls.fetch_add(1, Ordering::Relaxed);
+        self.remote_nodes_fetched.fetch_add(nodes, Ordering::Relaxed);
+        self.remote_bytes
+            .fetch_add(nodes * dim as u64 * 4, Ordering::Relaxed);
+    }
+
+    /// Record gathering `nodes` local rows.
+    pub fn record_local_copy(&self, nodes: u64) {
+        self.local_nodes_copied.fetch_add(nodes, Ordering::Relaxed);
+    }
+
+    /// Record buffer lookup results for one minibatch.
+    pub fn record_lookup(&self, hits: u64, misses: u64) {
+        self.buffer_hits.fetch_add(hits, Ordering::Relaxed);
+        self.buffer_misses.fetch_add(misses, Ordering::Relaxed);
+    }
+
+    /// Record an eviction round.
+    pub fn record_eviction(&self, evicted: u64, replaced: u64) {
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        self.replacements_fetched
+            .fetch_add(replaced, Ordering::Relaxed);
+    }
+
+    /// Cumulative hit rate (Eq. 8 of the paper): `h / (h + m)`;
+    /// 0.0 before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let h = self.buffer_hits.load(Ordering::Relaxed) as f64;
+        let m = self.buffer_misses.load(Ordering::Relaxed) as f64;
+        if h + m == 0.0 {
+            0.0
+        } else {
+            h / (h + m)
+        }
+    }
+
+    /// Snapshot all counters into a plain struct.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            rpc_calls: self.rpc_calls.load(Ordering::Relaxed),
+            remote_nodes_fetched: self.remote_nodes_fetched.load(Ordering::Relaxed),
+            remote_bytes: self.remote_bytes.load(Ordering::Relaxed),
+            local_nodes_copied: self.local_nodes_copied.load(Ordering::Relaxed),
+            buffer_hits: self.buffer_hits.load(Ordering::Relaxed),
+            buffer_misses: self.buffer_misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            replacements_fetched: self.replacements_fetched.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-data snapshot of [`CommMetrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Bulk RPC requests issued.
+    pub rpc_calls: u64,
+    /// Remote node feature rows fetched over RPC.
+    pub remote_nodes_fetched: u64,
+    /// Bytes moved over the network.
+    pub remote_bytes: u64,
+    /// Local feature rows copied.
+    pub local_nodes_copied: u64,
+    /// Prefetch-buffer hits.
+    pub buffer_hits: u64,
+    /// Prefetch-buffer misses.
+    pub buffer_misses: u64,
+    /// Nodes evicted.
+    pub evictions: u64,
+    /// Replacement rows fetched.
+    pub replacements_fetched: u64,
+}
+
+impl MetricsSnapshot {
+    /// Hit rate of this snapshot.
+    pub fn hit_rate(&self) -> f64 {
+        let t = self.buffer_hits + self.buffer_misses;
+        if t == 0 {
+            0.0
+        } else {
+            self.buffer_hits as f64 / t as f64
+        }
+    }
+
+    /// Sum two snapshots (aggregate across trainers).
+    pub fn merge(&self, other: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            rpc_calls: self.rpc_calls + other.rpc_calls,
+            remote_nodes_fetched: self.remote_nodes_fetched + other.remote_nodes_fetched,
+            remote_bytes: self.remote_bytes + other.remote_bytes,
+            local_nodes_copied: self.local_nodes_copied + other.local_nodes_copied,
+            buffer_hits: self.buffer_hits + other.buffer_hits,
+            buffer_misses: self.buffer_misses + other.buffer_misses,
+            evictions: self.evictions + other.evictions,
+            replacements_fetched: self.replacements_fetched + other.replacements_fetched,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_rpc_not_counted() {
+        let m = CommMetrics::new();
+        m.record_rpc(0, 128);
+        assert_eq!(m.snapshot().rpc_calls, 0);
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let m = CommMetrics::new();
+        m.record_rpc(10, 128);
+        let s = m.snapshot();
+        assert_eq!(s.rpc_calls, 1);
+        assert_eq!(s.remote_nodes_fetched, 10);
+        assert_eq!(s.remote_bytes, 10 * 128 * 4);
+    }
+
+    #[test]
+    fn hit_rate_math() {
+        let m = CommMetrics::new();
+        assert_eq!(m.hit_rate(), 0.0);
+        m.record_lookup(3, 1);
+        assert!((m.hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums() {
+        let a = MetricsSnapshot {
+            buffer_hits: 2,
+            buffer_misses: 2,
+            ..Default::default()
+        };
+        let b = MetricsSnapshot {
+            buffer_hits: 6,
+            buffer_misses: 0,
+            ..Default::default()
+        };
+        let c = a.merge(&b);
+        assert_eq!(c.buffer_hits, 8);
+        assert!((c.hit_rate() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concurrent_updates() {
+        use std::sync::Arc;
+        let m = Arc::new(CommMetrics::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        m.record_lookup(1, 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = m.snapshot();
+        assert_eq!(s.buffer_hits, 4000);
+        assert_eq!(s.buffer_misses, 4000);
+    }
+}

@@ -1,0 +1,53 @@
+//! Hash partitioning: node `u` goes to `hash(u) % P`. The weakest baseline
+//! (no locality at all) — it maximizes halo traffic and is the worst case
+//! for the prefetcher's working set, which makes it useful in ablations.
+
+use crate::Partitioning;
+use mgnn_graph::CsrGraph;
+
+/// Partition by hashed node id.
+pub fn hash_partition(g: &CsrGraph, num_parts: usize) -> Partitioning {
+    assert!(num_parts >= 1);
+    let assignment = (0..g.num_nodes())
+        .map(|u| (splitmix(u as u64) % num_parts as u64) as u32)
+        .collect();
+    Partitioning::new(assignment, num_parts)
+}
+
+pub(crate) fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgnn_graph::generators::erdos_renyi;
+
+    #[test]
+    fn covers_all_nodes_and_balances() {
+        let g = erdos_renyi(4000, 16_000, 1);
+        let p = hash_partition(&g, 4);
+        assert_eq!(p.assignment.len(), 4000);
+        let sizes = p.sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 4000);
+        for &s in &sizes {
+            assert!((s as f64) > 0.8 * 1000.0 && (s as f64) < 1.2 * 1000.0);
+        }
+    }
+
+    #[test]
+    fn single_partition() {
+        let g = erdos_renyi(100, 300, 2);
+        let p = hash_partition(&g, 1);
+        assert!(p.assignment.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = erdos_renyi(500, 2000, 3);
+        assert_eq!(hash_partition(&g, 8), hash_partition(&g, 8));
+    }
+}

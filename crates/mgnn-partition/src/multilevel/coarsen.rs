@@ -1,0 +1,231 @@
+//! Weighted graphs and heavy-edge-matching coarsening.
+
+use mgnn_graph::{CsrGraph, NodeId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A weighted CSR graph used during coarsening: node weights count how many
+/// original nodes a coarse node represents; edge weights count how many
+/// original edges an aggregate edge represents.
+#[derive(Debug, Clone)]
+pub struct WGraph {
+    offsets: Vec<u64>,
+    targets: Vec<NodeId>,
+    eweights: Vec<u64>,
+    nweights: Vec<u64>,
+}
+
+impl WGraph {
+    /// Lift an unweighted CSR graph to unit weights.
+    pub fn from_csr(g: &CsrGraph) -> Self {
+        WGraph {
+            offsets: g.offsets().to_vec(),
+            targets: g.targets().to_vec(),
+            eweights: vec![1; g.num_edges()],
+            nweights: vec![1; g.num_nodes()],
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.nweights.len()
+    }
+
+    /// Number of directed weighted edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Neighbor ids of `u`.
+    #[inline]
+    pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        &self.targets[self.offsets[u as usize] as usize..self.offsets[u as usize + 1] as usize]
+    }
+
+    /// Edge weights aligned with [`WGraph::neighbors`].
+    #[inline]
+    pub fn edge_weights(&self, u: NodeId) -> &[u64] {
+        &self.eweights[self.offsets[u as usize] as usize..self.offsets[u as usize + 1] as usize]
+    }
+
+    /// Node weight of `u`.
+    #[inline]
+    pub fn node_weight(&self, u: NodeId) -> u64 {
+        self.nweights[u as usize]
+    }
+
+    /// Total node weight.
+    pub fn total_weight(&self) -> u64 {
+        self.nweights.iter().sum()
+    }
+}
+
+/// One round of heavy-edge matching: visit nodes in random order; each
+/// unmatched node matches its heaviest-edge unmatched neighbor. Matched
+/// pairs collapse into one coarse node. Returns the coarser graph and the
+/// fine→coarse node map.
+pub fn coarsen_once(g: &WGraph, seed: u64) -> (WGraph, Vec<u32>) {
+    let n = g.num_nodes();
+    let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+    order.shuffle(&mut StdRng::seed_from_u64(seed));
+
+    let mut matched: Vec<u32> = vec![u32::MAX; n]; // partner or self
+    for &u in &order {
+        if matched[u as usize] != u32::MAX {
+            continue;
+        }
+        let mut best: Option<(NodeId, u64)> = None;
+        for (&v, &w) in g.neighbors(u).iter().zip(g.edge_weights(u)) {
+            if v != u && matched[v as usize] == u32::MAX {
+                if best.map_or(true, |(_, bw)| w > bw) {
+                    best = Some((v, w));
+                }
+            }
+        }
+        match best {
+            Some((v, _)) => {
+                matched[u as usize] = v;
+                matched[v as usize] = u;
+            }
+            None => matched[u as usize] = u, // self-match
+        }
+    }
+
+    // Assign coarse ids: the smaller endpoint of each pair owns the id.
+    let mut fine_to_coarse = vec![u32::MAX; n];
+    let mut next = 0u32;
+    for u in 0..n as u32 {
+        if fine_to_coarse[u as usize] != u32::MAX {
+            continue;
+        }
+        let partner = matched[u as usize];
+        fine_to_coarse[u as usize] = next;
+        if partner != u && partner != u32::MAX {
+            fine_to_coarse[partner as usize] = next;
+        }
+        next += 1;
+    }
+    let cn = next as usize;
+
+    // Aggregate node weights.
+    let mut nweights = vec![0u64; cn];
+    for u in 0..n {
+        nweights[fine_to_coarse[u] as usize] += g.node_weight(u as NodeId);
+    }
+
+    // Aggregate edges. Accumulate per coarse source with a scatter map.
+    let mut offsets = vec![0u64; cn + 1];
+    let mut targets: Vec<NodeId> = Vec::with_capacity(g.num_edges());
+    let mut eweights: Vec<u64> = Vec::with_capacity(g.num_edges());
+    // For each coarse node, gather fine members. Build member lists first.
+    let mut members: Vec<Vec<NodeId>> = vec![Vec::new(); cn];
+    for u in 0..n as u32 {
+        members[fine_to_coarse[u as usize] as usize].push(u);
+    }
+    let mut acc: Vec<u64> = vec![0; cn]; // scratch: weight accumulator per coarse target
+    let mut touched: Vec<NodeId> = Vec::new();
+    for (cu, mem) in members.iter().enumerate() {
+        for &u in mem {
+            for (&v, &w) in g.neighbors(u).iter().zip(g.edge_weights(u)) {
+                let cv = fine_to_coarse[v as usize];
+                if cv as usize == cu {
+                    continue; // collapsed internal edge
+                }
+                if acc[cv as usize] == 0 {
+                    touched.push(cv);
+                }
+                acc[cv as usize] += w;
+            }
+        }
+        touched.sort_unstable();
+        for &cv in &touched {
+            targets.push(cv);
+            eweights.push(acc[cv as usize]);
+            acc[cv as usize] = 0;
+        }
+        touched.clear();
+        offsets[cu + 1] = targets.len() as u64;
+    }
+
+    (
+        WGraph {
+            offsets,
+            targets,
+            eweights,
+            nweights,
+        },
+        fine_to_coarse,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgnn_graph::generators::erdos_renyi;
+
+    #[test]
+    fn weights_conserved() {
+        let g = erdos_renyi(500, 2000, 1);
+        let wg = WGraph::from_csr(&g);
+        let (coarse, map) = coarsen_once(&wg, 3);
+        assert_eq!(coarse.total_weight(), 500);
+        assert!(coarse.num_nodes() < 500);
+        assert_eq!(map.len(), 500);
+        assert!(map.iter().all(|&c| (c as usize) < coarse.num_nodes()));
+    }
+
+    #[test]
+    fn roughly_halves() {
+        let g = erdos_renyi(1000, 8000, 2);
+        let wg = WGraph::from_csr(&g);
+        let (coarse, _) = coarsen_once(&wg, 1);
+        // Dense ER matches well; expect close to n/2.
+        assert!(
+            coarse.num_nodes() < 700,
+            "coarse size {}",
+            coarse.num_nodes()
+        );
+    }
+
+    #[test]
+    fn edge_weight_conserved_for_cross_edges() {
+        let g = erdos_renyi(300, 1500, 5);
+        let wg = WGraph::from_csr(&g);
+        let (coarse, map) = coarsen_once(&wg, 7);
+        // Sum of coarse edge weights == number of fine directed edges whose
+        // endpoints land in different coarse nodes.
+        let mut expected = 0u64;
+        for (u, v) in g.edges() {
+            if map[u as usize] != map[v as usize] {
+                expected += 1;
+            }
+        }
+        let total: u64 = coarse.eweights.iter().sum();
+        assert_eq!(total, expected);
+    }
+
+    #[test]
+    fn isolated_nodes_self_match() {
+        let g = CsrGraph::empty(10);
+        let wg = WGraph::from_csr(&g);
+        let (coarse, _) = coarsen_once(&wg, 0);
+        assert_eq!(coarse.num_nodes(), 10);
+        assert_eq!(coarse.num_edges(), 0);
+    }
+
+    use mgnn_graph::CsrGraph;
+
+    #[test]
+    fn coarse_neighbor_lists_sorted() {
+        let g = erdos_renyi(400, 3000, 9);
+        let wg = WGraph::from_csr(&g);
+        let (coarse, _) = coarsen_once(&wg, 2);
+        for u in 0..coarse.num_nodes() as u32 {
+            let nb = coarse.neighbors(u);
+            assert!(nb.windows(2).all(|w| w[0] < w[1]), "node {u} unsorted");
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Partition quality metrics: edge cut, balance, halo fraction.
+
+use crate::halo::LocalPartition;
+use crate::Partitioning;
+use mgnn_graph::CsrGraph;
+
+/// Undirected edge cut: number of (unordered) edges whose endpoints lie in
+/// different partitions. Assumes `g` is symmetric (each cut edge appears as
+/// two directed edges and is counted once).
+pub fn edge_cut(g: &CsrGraph, p: &Partitioning) -> usize {
+    let mut cut = 0usize;
+    for (u, v) in g.edges() {
+        if u < v && p.part_of(u) != p.part_of(v) {
+            cut += 1;
+        }
+    }
+    cut
+}
+
+/// Balance factor: max partition size / ideal size. 1.0 is perfect.
+pub fn balance(p: &Partitioning) -> f64 {
+    let sizes = p.sizes();
+    let n: usize = sizes.iter().sum();
+    if n == 0 {
+        return 1.0;
+    }
+    let ideal = n as f64 / p.num_parts as f64;
+    *sizes.iter().max().unwrap() as f64 / ideal
+}
+
+/// Fraction of a partition's visible nodes that are halo: `H / (L + H)`.
+/// The paper's prefetch working set scales with this.
+pub fn halo_fraction(lp: &LocalPartition) -> f64 {
+    let total = lp.num_local() + lp.num_halo();
+    if total == 0 {
+        0.0
+    } else {
+        lp.num_halo() as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::halo::build_local_partitions;
+    use crate::random::random_partition;
+    use mgnn_graph::generators::erdos_renyi;
+
+    #[test]
+    fn cut_of_single_part_is_zero() {
+        let g = erdos_renyi(100, 400, 1);
+        let p = Partitioning::new(vec![0; 100], 1);
+        assert_eq!(edge_cut(&g, &p), 0);
+    }
+
+    #[test]
+    fn cut_counts_unordered_edges() {
+        // path 0-1 with parts {0},{1}: one cut edge.
+        let g = CsrGraph::from_parts(vec![0, 1, 2], vec![1, 0]).unwrap();
+        let p = Partitioning::new(vec![0, 1], 2);
+        assert_eq!(edge_cut(&g, &p), 1);
+    }
+
+    #[test]
+    fn balance_perfect_and_skewed() {
+        let p = Partitioning::new(vec![0, 0, 1, 1], 2);
+        assert!((balance(&p) - 1.0).abs() < 1e-12);
+        let q = Partitioning::new(vec![0, 0, 0, 1], 2);
+        assert!((balance(&q) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn halo_fraction_range() {
+        let g = erdos_renyi(300, 2000, 2);
+        let p = random_partition(&g, 4, 2);
+        for lp in build_local_partitions(&g, &p, &[]) {
+            let f = halo_fraction(&lp);
+            assert!((0.0..=1.0).contains(&f));
+            // Random partition of a connected dense graph: plenty of halo.
+            assert!(f > 0.3, "halo fraction {f} suspiciously low");
+        }
+    }
+}

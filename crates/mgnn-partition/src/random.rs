@@ -1,0 +1,54 @@
+//! Random balanced partitioning: a seeded shuffle chopped into `P` equal
+//! chunks. Exactly balanced, zero locality — the standard strawman.
+
+use crate::Partitioning;
+use mgnn_graph::CsrGraph;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Exactly-balanced random partition.
+pub fn random_partition(g: &CsrGraph, num_parts: usize, seed: u64) -> Partitioning {
+    assert!(num_parts >= 1);
+    let n = g.num_nodes();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.shuffle(&mut StdRng::seed_from_u64(seed));
+    let mut assignment = vec![0u32; n];
+    for (i, &u) in order.iter().enumerate() {
+        assignment[u as usize] = (i * num_parts / n.max(1)) as u32;
+    }
+    Partitioning::new(assignment, num_parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgnn_graph::generators::erdos_renyi;
+
+    #[test]
+    fn exactly_balanced() {
+        let g = erdos_renyi(1000, 3000, 1);
+        let p = random_partition(&g, 4, 9);
+        let sizes = p.sizes();
+        for &s in &sizes {
+            assert_eq!(s, 250);
+        }
+    }
+
+    #[test]
+    fn uneven_division_still_covers() {
+        let g = erdos_renyi(103, 300, 1);
+        let p = random_partition(&g, 4, 2);
+        assert_eq!(p.sizes().iter().sum::<usize>(), 103);
+        let max = *p.sizes().iter().max().unwrap();
+        let min = *p.sizes().iter().min().unwrap();
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = erdos_renyi(200, 500, 5);
+        assert_eq!(random_partition(&g, 3, 7), random_partition(&g, 3, 7));
+        assert_ne!(random_partition(&g, 3, 7), random_partition(&g, 3, 8));
+    }
+}

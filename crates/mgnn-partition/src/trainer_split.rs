@@ -1,0 +1,83 @@
+//! Second-level partitioning (DistDGL Fig. 2): split a partition's train
+//! nodes among its trainer PEs. DistDGL hands each trainer a contiguous,
+//! near-equal shard; we shuffle deterministically first so shards are
+//! statistically alike (train ids arrive sorted by global id, which can
+//! correlate with generator structure).
+
+use mgnn_graph::NodeId;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Split `train_nodes` into `num_trainers` near-equal shards (sizes differ
+/// by at most one). Deterministic per seed.
+pub fn split_train_nodes(
+    train_nodes: &[NodeId],
+    num_trainers: usize,
+    seed: u64,
+) -> Vec<Vec<NodeId>> {
+    assert!(num_trainers >= 1);
+    let mut shuffled = train_nodes.to_vec();
+    shuffled.shuffle(&mut StdRng::seed_from_u64(seed));
+    let n = shuffled.len();
+    let mut shards = Vec::with_capacity(num_trainers);
+    let base = n / num_trainers;
+    let extra = n % num_trainers;
+    let mut start = 0usize;
+    for t in 0..num_trainers {
+        let len = base + usize::from(t < extra);
+        shards.push(shuffled[start..start + len].to_vec());
+        start += len;
+    }
+    shards
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shards_partition_input() {
+        let train: Vec<NodeId> = (0..103).collect();
+        let shards = split_train_nodes(&train, 4, 1);
+        assert_eq!(shards.len(), 4);
+        let mut all: Vec<NodeId> = shards.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, train);
+    }
+
+    #[test]
+    fn sizes_differ_by_at_most_one() {
+        let train: Vec<NodeId> = (0..103).collect();
+        let shards = split_train_nodes(&train, 4, 2);
+        let sizes: Vec<usize> = shards.iter().map(|s| s.len()).collect();
+        assert_eq!(sizes, vec![26, 26, 26, 25]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let shards = split_train_nodes(&[], 3, 0);
+        assert!(shards.iter().all(|s| s.is_empty()));
+        assert_eq!(shards.len(), 3);
+    }
+
+    #[test]
+    fn fewer_nodes_than_trainers() {
+        let shards = split_train_nodes(&[5, 9], 4, 3);
+        let nonempty = shards.iter().filter(|s| !s.is_empty()).count();
+        assert_eq!(nonempty, 2);
+    }
+
+    #[test]
+    fn deterministic() {
+        let train: Vec<NodeId> = (0..50).collect();
+        assert_eq!(
+            split_train_nodes(&train, 4, 9),
+            split_train_nodes(&train, 4, 9)
+        );
+        assert_ne!(
+            split_train_nodes(&train, 4, 9),
+            split_train_nodes(&train, 4, 10)
+        );
+    }
+}

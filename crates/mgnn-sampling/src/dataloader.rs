@@ -1,0 +1,111 @@
+//! Per-trainer minibatch dataloader: epoch shuffling + fixed batch size,
+//! mirroring DistDGL's distributed `DataLoader` (constant batch size of
+//! 2000 in the paper; here scaled with the graphs).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Deterministic epoch-shuffled minibatch iterator over a trainer's seed
+/// nodes (partition-local ids).
+#[derive(Debug, Clone)]
+pub struct DataLoader {
+    seeds: Vec<u32>,
+    batch_size: usize,
+    base_seed: u64,
+}
+
+impl DataLoader {
+    /// Build a loader over `seeds` (this trainer's shard of train nodes,
+    /// partition-local ids).
+    pub fn new(seeds: Vec<u32>, batch_size: usize, base_seed: u64) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        DataLoader {
+            seeds,
+            batch_size,
+            base_seed,
+        }
+    }
+
+    /// Number of minibatches per epoch (`ceil(len / batch)`; DistDGL keeps
+    /// the ragged last batch).
+    pub fn batches_per_epoch(&self) -> usize {
+        self.seeds.len().div_ceil(self.batch_size)
+    }
+
+    /// Number of seed nodes.
+    pub fn num_seeds(&self) -> usize {
+        self.seeds.len()
+    }
+
+    /// Batch size.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// The shuffled minibatches of `epoch`.
+    pub fn epoch(&self, epoch: u64) -> Vec<Vec<u32>> {
+        let mut order = self.seeds.clone();
+        order.shuffle(&mut StdRng::seed_from_u64(
+            self.base_seed ^ epoch.wrapping_mul(0x2545_f491_4f6c_dd1d),
+        ));
+        order
+            .chunks(self.batch_size)
+            .map(|c| c.to_vec())
+            .collect()
+    }
+
+    /// Convenience: the `step`-th minibatch of `epoch`.
+    pub fn batch(&self, epoch: u64, step: usize) -> Option<Vec<u32>> {
+        let start = step * self.batch_size;
+        if start >= self.seeds.len() {
+            return None;
+        }
+        // Recompute only the needed slice of the epoch permutation.
+        Some(self.epoch(epoch)[step].clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_cover_all_seeds() {
+        let dl = DataLoader::new((0..103).collect(), 10, 1);
+        assert_eq!(dl.batches_per_epoch(), 11);
+        let batches = dl.epoch(0);
+        let mut all: Vec<u32> = batches.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..103).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn last_batch_ragged() {
+        let dl = DataLoader::new((0..103).collect(), 10, 1);
+        let batches = dl.epoch(3);
+        assert_eq!(batches.last().unwrap().len(), 3);
+        assert!(batches[..10].iter().all(|b| b.len() == 10));
+    }
+
+    #[test]
+    fn epochs_shuffle_differently() {
+        let dl = DataLoader::new((0..50).collect(), 50, 9);
+        assert_ne!(dl.epoch(0), dl.epoch(1));
+        assert_eq!(dl.epoch(0), dl.epoch(0));
+    }
+
+    #[test]
+    fn batch_accessor_matches_epoch() {
+        let dl = DataLoader::new((0..25).collect(), 10, 2);
+        assert_eq!(dl.batch(0, 1).unwrap(), dl.epoch(0)[1]);
+        assert!(dl.batch(0, 3).is_none());
+    }
+
+    #[test]
+    fn empty_loader() {
+        let dl = DataLoader::new(vec![], 10, 0);
+        assert_eq!(dl.batches_per_epoch(), 0);
+        assert!(dl.epoch(0).is_empty());
+    }
+}

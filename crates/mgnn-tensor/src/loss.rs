@@ -1,0 +1,102 @@
+//! Softmax cross-entropy loss and accuracy.
+
+use crate::ops::softmax_rows;
+use crate::tensor::Tensor;
+
+/// Softmax cross-entropy over `logits` (`batch × classes`) against integer
+/// `labels`. Returns `(mean_loss, grad_logits)` where the gradient already
+/// includes the `1/batch` factor.
+pub fn cross_entropy(logits: &Tensor, labels: &[u32]) -> (f32, Tensor) {
+    assert_eq!(logits.rows(), labels.len());
+    let probs = softmax_rows(logits);
+    let batch = logits.rows().max(1);
+    let inv = 1.0 / batch as f32;
+    let mut loss = 0.0f32;
+    let mut grad = probs.clone();
+    for (i, &label) in labels.iter().enumerate() {
+        let p = probs.get(i, label as usize).max(1e-12);
+        loss -= p.ln();
+        let g = grad.get(i, label as usize);
+        grad.set(i, label as usize, g - 1.0);
+    }
+    grad.scale(inv);
+    (loss * inv, grad)
+}
+
+/// Fraction of rows whose argmax equals the label.
+pub fn accuracy(logits: &Tensor, labels: &[u32]) -> f64 {
+    assert_eq!(logits.rows(), labels.len());
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let mut correct = 0usize;
+    for (i, &label) in labels.iter().enumerate() {
+        let row = logits.row(i);
+        let argmax = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(j, _)| j)
+            .unwrap();
+        if argmax == label as usize {
+            correct += 1;
+        }
+    }
+    correct as f64 / labels.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loss_of_perfect_prediction_is_small() {
+        let logits = Tensor::from_vec(2, 3, vec![10.0, 0.0, 0.0, 0.0, 10.0, 0.0]);
+        let (loss, _) = cross_entropy(&logits, &[0, 1]);
+        assert!(loss < 0.01, "loss {loss}");
+    }
+
+    #[test]
+    fn loss_of_uniform_is_log_c() {
+        let logits = Tensor::zeros(1, 4);
+        let (loss, _) = cross_entropy(&logits, &[2]);
+        assert!((loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let logits = Tensor::from_vec(2, 3, vec![0.5, -0.2, 0.1, -0.3, 0.7, 0.2]);
+        let labels = [2u32, 0u32];
+        let (_, grad) = cross_entropy(&logits, &labels);
+        let eps = 1e-3f32;
+        for idx in 0..6 {
+            let mut lp = logits.clone();
+            lp.data_mut()[idx] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[idx] -= eps;
+            let (up, _) = cross_entropy(&lp, &labels);
+            let (um, _) = cross_entropy(&lm, &labels);
+            let num = (up - um) / (2.0 * eps);
+            assert!(
+                (num - grad.data()[idx]).abs() < 1e-3,
+                "grad[{idx}] {num} vs {}",
+                grad.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let logits = Tensor::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        let (_, grad) = cross_entropy(&logits, &[1]);
+        let s: f32 = grad.row(0).iter().sum();
+        assert!(s.abs() < 1e-6);
+    }
+
+    #[test]
+    fn accuracy_counts() {
+        let logits = Tensor::from_vec(3, 2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0]);
+        assert!((accuracy(&logits, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(accuracy(&Tensor::zeros(0, 2), &[]), 0.0);
+    }
+}

@@ -1,0 +1,335 @@
+//! Row-major 2-D `f32` tensor with rayon-parallel matrix products.
+
+use rayon::prelude::*;
+use std::fmt;
+
+/// A dense row-major matrix of `f32`.
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Zero-filled `rows × cols` tensor.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Tensor {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Construct from a row-major buffer. Panics on shape mismatch.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "tensor shape mismatch");
+        Tensor { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Borrow the raw row-major buffer.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrow the raw row-major buffer.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Row `i` as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Element `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f32 {
+        self.data[i * self.cols + j]
+    }
+
+    /// Set element `(i, j)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f32) {
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Matrix product `self · rhs` (`m×k · k×n → m×n`), parallel over rows.
+    ///
+    /// Inner loop is written `i-k-j` so the `rhs` row is streamed
+    /// contiguously (cache-friendly; see the Rust Performance Book's advice
+    /// on access order).
+    pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.cols, rhs.rows, "matmul shape mismatch");
+        let (m, k, n) = (self.rows, self.cols, rhs.cols);
+        let mut out = vec![0.0f32; m * n];
+        out.par_chunks_mut(n).enumerate().for_each(|(i, orow)| {
+            let arow = &self.data[i * k..(i + 1) * k];
+            for (kk, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let brow = &rhs.data[kk * n..(kk + 1) * n];
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        });
+        Tensor::from_vec(m, n, out)
+    }
+
+    /// `selfᵀ · rhs` (`k×m ᵀ · k×n → m×n`) without materializing the
+    /// transpose — the gradient-of-weights product in linear backward.
+    pub fn t_matmul(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.rows, rhs.rows, "t_matmul shape mismatch");
+        let (k, m, n) = (self.rows, self.cols, rhs.cols);
+        // Accumulate per row-block in parallel then reduce.
+        let out = (0..k)
+            .into_par_iter()
+            .fold(
+                || vec![0.0f32; m * n],
+                |mut acc, kk| {
+                    let arow = &self.data[kk * m..(kk + 1) * m];
+                    let brow = &rhs.data[kk * n..(kk + 1) * n];
+                    for (i, &a) in arow.iter().enumerate() {
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let dst = &mut acc[i * n..(i + 1) * n];
+                        for (d, &b) in dst.iter_mut().zip(brow) {
+                            *d += a * b;
+                        }
+                    }
+                    acc
+                },
+            )
+            .reduce(
+                || vec![0.0f32; m * n],
+                |mut a, b| {
+                    for (x, y) in a.iter_mut().zip(b) {
+                        *x += y;
+                    }
+                    a
+                },
+            );
+        Tensor::from_vec(m, n, out)
+    }
+
+    /// `self · rhsᵀ` (`m×k · n×k ᵀ → m×n`) — the gradient-of-input product.
+    pub fn matmul_t(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.cols, rhs.cols, "matmul_t shape mismatch");
+        let (m, k, n) = (self.rows, self.cols, rhs.rows);
+        let mut out = vec![0.0f32; m * n];
+        out.par_chunks_mut(n).enumerate().for_each(|(i, orow)| {
+            let arow = &self.data[i * k..(i + 1) * k];
+            for (j, o) in orow.iter_mut().enumerate() {
+                let brow = &rhs.data[j * k..(j + 1) * k];
+                let mut s = 0.0f32;
+                for (&a, &b) in arow.iter().zip(brow) {
+                    s += a * b;
+                }
+                *o = s;
+            }
+        });
+        Tensor::from_vec(m, n, out)
+    }
+
+    /// Explicit transpose.
+    pub fn transpose(&self) -> Tensor {
+        let mut out = Tensor::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.set(j, i, self.get(i, j));
+            }
+        }
+        out
+    }
+
+    /// Elementwise addition in place.
+    pub fn add_assign(&mut self, rhs: &Tensor) {
+        assert_eq!(self.shape(), rhs.shape());
+        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += b;
+        }
+    }
+
+    /// Scale every element in place.
+    pub fn scale(&mut self, s: f32) {
+        for a in self.data.iter_mut() {
+            *a *= s;
+        }
+    }
+
+    /// Add `row` (length `cols`) to every row — bias broadcast.
+    pub fn add_row_broadcast(&mut self, row: &[f32]) {
+        assert_eq!(row.len(), self.cols);
+        for r in self.data.chunks_mut(self.cols) {
+            for (a, &b) in r.iter_mut().zip(row) {
+                *a += b;
+            }
+        }
+    }
+
+    /// Sum over rows, producing a length-`cols` vector — bias gradient.
+    pub fn sum_rows(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.cols];
+        for r in self.data.chunks(self.cols) {
+            for (o, &v) in out.iter_mut().zip(r) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Concatenate two tensors with equal row counts along columns.
+    pub fn concat_cols(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.rows, rhs.rows);
+        let cols = self.cols + rhs.cols;
+        let mut out = Tensor::zeros(self.rows, cols);
+        for i in 0..self.rows {
+            out.row_mut(i)[..self.cols].copy_from_slice(self.row(i));
+            out.row_mut(i)[self.cols..].copy_from_slice(rhs.row(i));
+        }
+        out
+    }
+
+    /// Split columns at `at`, inverse of [`Tensor::concat_cols`].
+    pub fn split_cols(&self, at: usize) -> (Tensor, Tensor) {
+        assert!(at <= self.cols);
+        let mut a = Tensor::zeros(self.rows, at);
+        let mut b = Tensor::zeros(self.rows, self.cols - at);
+        for i in 0..self.rows {
+            a.row_mut(i).copy_from_slice(&self.row(i)[..at]);
+            b.row_mut(i).copy_from_slice(&self.row(i)[at..]);
+        }
+        (a, b)
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor({}×{})", self.rows, self.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(rows: usize, cols: usize, v: &[f32]) -> Tensor {
+        Tensor::from_vec(rows, cols, v.to_vec())
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = t(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = t(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = t(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let i = t(2, 2, &[1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(a.matmul(&i), a);
+        assert_eq!(i.matmul(&a), a);
+    }
+
+    #[test]
+    fn t_matmul_matches_explicit_transpose() {
+        let a = t(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = t(3, 4, &(0..12).map(|x| x as f32).collect::<Vec<_>>());
+        let via_fused = a.t_matmul(&b);
+        let via_explicit = a.transpose().matmul(&b);
+        for (x, y) in via_fused.data().iter().zip(via_explicit.data()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn matmul_t_matches_explicit_transpose() {
+        let a = t(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = t(4, 3, &(0..12).map(|x| x as f32).collect::<Vec<_>>());
+        let via_fused = a.matmul_t(&b);
+        let via_explicit = a.matmul(&b.transpose());
+        for (x, y) in via_fused.data().iter().zip(via_explicit.data()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn broadcast_and_sum_rows_are_adjoint() {
+        let mut x = Tensor::zeros(3, 2);
+        x.add_row_broadcast(&[1.0, 2.0]);
+        assert_eq!(x.data(), &[1.0, 2.0, 1.0, 2.0, 1.0, 2.0]);
+        assert_eq!(x.sum_rows(), vec![3.0, 6.0]);
+    }
+
+    #[test]
+    fn concat_split_round_trip() {
+        let a = t(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = t(2, 1, &[5.0, 6.0]);
+        let c = a.concat_cols(&b);
+        assert_eq!(c.shape(), (2, 3));
+        let (a2, b2) = c.split_cols(2);
+        assert_eq!(a2, a);
+        assert_eq!(b2, b);
+    }
+
+    #[test]
+    fn scale_and_norm() {
+        let mut a = t(1, 2, &[3.0, 4.0]);
+        assert!((a.norm() - 5.0).abs() < 1e-6);
+        a.scale(2.0);
+        assert_eq!(a.data(), &[6.0, 8.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn matmul_shape_mismatch_panics() {
+        let a = Tensor::zeros(2, 3);
+        let b = Tensor::zeros(2, 3);
+        a.matmul(&b);
+    }
+
+    #[test]
+    fn zero_sized() {
+        let a = Tensor::zeros(0, 5);
+        let b = Tensor::zeros(5, 2);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), (0, 2));
+    }
+}

@@ -1,0 +1,91 @@
+//! Eviction-policy ablation demo: replay the identical sampled halo-node
+//! stream from a real partitioned graph through the paper's score-based
+//! periodic policy and classic per-access policies (LRU, LFU, random,
+//! static), comparing hit rates against bookkeeping effort — the §IV-E
+//! trade-off, made concrete.
+//!
+//! ```bash
+//! cargo run --release --example eviction_policies
+//! ```
+
+use massivegnn::ablation::{replay_policies, CachePolicy};
+use mgnn_graph::{Dataset, DatasetKind, Scale};
+use mgnn_partition::{build_local_partitions, multilevel_partition};
+use mgnn_sampling::{DataLoader, NeighborSampler};
+
+fn main() {
+    let dataset = Dataset::generate(DatasetKind::Products, Scale::Small, 17);
+    let parts = multilevel_partition(&dataset.graph, 4, 17);
+    let lps = build_local_partitions(&dataset.graph, &parts, &dataset.train_nodes);
+    let part = &lps[0];
+    let num_local = part.num_local();
+    let num_halo = part.num_halo();
+    println!(
+        "partition 0: {} local nodes, {} halo nodes",
+        num_local, num_halo
+    );
+
+    // Build the shared access stream: each minibatch's sampled halo set.
+    let seeds: Vec<u32> = part
+        .train_nodes
+        .iter()
+        .map(|&g| part.local_id(g).unwrap())
+        .collect();
+    let loader = DataLoader::new(seeds, 64, 5);
+    let sampler = NeighborSampler::new(vec![10, 25], 7);
+    let mut stream = Vec::new();
+    let mut gs = 0u64;
+    for epoch in 0..20u64 {
+        for seeds in loader.epoch(epoch) {
+            let mb = sampler.sample(part, &seeds, epoch, gs);
+            gs += 1;
+            let (_, halo) = mb.split_local_halo(num_local);
+            stream.push(
+                halo.iter()
+                    .map(|&l| l - num_local as u32)
+                    .collect::<Vec<u32>>(),
+            );
+        }
+    }
+    println!("stream: {} minibatches", stream.len());
+
+    // Two initializations: the paper's top-degree, and a worst-case one.
+    let capacity = num_halo / 4;
+    let mut by_degree: Vec<u32> = (0..num_halo as u32).collect();
+    by_degree.sort_by_key(|&h| (std::cmp::Reverse(part.halo_degree[h as usize]), h));
+    let good_init: Vec<u32> = by_degree[..capacity].to_vec();
+    let bad_init: Vec<u32> = by_degree[num_halo - capacity..].to_vec();
+
+    let policies = [
+        CachePolicy::ScoreBased {
+            gamma: 0.995,
+            delta: 32,
+        },
+        CachePolicy::Static,
+        CachePolicy::Lru,
+        CachePolicy::Lfu,
+        CachePolicy::Random { seed: 3 },
+    ];
+
+    for (label, init) in [("top-degree init (paper)", &good_init), ("adversarial init", &bad_init)]
+    {
+        println!("\n== {label} (capacity {capacity}) ==");
+        println!(
+            "{:<12} {:>8} {:>14} {:>13}",
+            "policy", "hit(%)", "replacements", "maintenance"
+        );
+        for sim in replay_policies(&policies, num_halo, init, &stream) {
+            println!(
+                "{:<12} {:>8.1} {:>14} {:>13}",
+                sim.policy_name(),
+                100.0 * sim.tracker.cumulative(),
+                sim.replacements,
+                sim.maintenance_events
+            );
+        }
+    }
+    println!();
+    println!("takeaway: with the paper's top-degree init, bulk periodic eviction matches");
+    println!("per-access policies at a fraction of the maintenance rounds; with a bad init,");
+    println!("the adaptive policies recover while static cannot.");
+}

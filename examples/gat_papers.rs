@@ -1,0 +1,64 @@
+//! §V-A4 at example scale: the prefetch scheme under a 2-head GAT on the
+//! largest (papers-like) input — demonstrating the scheme is architecture-
+//! agnostic and that the memory-efficient S_A layout works (the paper uses
+//! it for papers100M).
+//!
+//! ```bash
+//! cargo run --release --example gat_papers
+//! ```
+
+use massivegnn::{Engine, EngineConfig, Mode, PrefetchConfig, ScoreLayout};
+use mgnn_graph::{DatasetKind, Scale};
+use mgnn_model::ModelKind;
+use mgnn_net::Backend;
+
+fn main() {
+    let base = EngineConfig {
+        dataset: DatasetKind::Papers,
+        scale: Scale::Unit,
+        num_parts: 2,
+        trainers_per_part: 2,
+        batch_size: 64,
+        epochs: 3,
+        fanouts: vec![10, 25],
+        hidden_dim: 48,
+        model: ModelKind::Gat,
+        gat_heads: 2,
+        train_math: true,
+        ..Default::default()
+    };
+
+    println!("== GAT (2 heads) on papers-like, memory-efficient S_A ==");
+    for backend in [Backend::Cpu, Backend::Gpu] {
+        let mut cfg = base.clone();
+        cfg.backend = backend;
+        let baseline = Engine::build(cfg.clone()).run();
+
+        cfg.mode = Mode::Prefetch(PrefetchConfig {
+            f_h: 0.5,
+            gamma: 0.995,
+            delta: 64,
+            layout: ScoreLayout::MemEfficient,
+            ..Default::default()
+        });
+        let prefetch = Engine::build(cfg).run();
+
+        let impr = 100.0 * (1.0 - prefetch.makespan_s / baseline.makespan_s);
+        println!(
+            "{}: baseline {:.3}s | prefetch {:.3}s | impr {:>5.1}% | hit {:.1}% | overlap {:.0}%",
+            backend.name(),
+            baseline.makespan_s,
+            prefetch.makespan_s,
+            impr,
+            100.0 * prefetch.hit_rate(),
+            100.0 * prefetch.mean_overlap_efficiency(),
+        );
+        println!(
+            "   loss: {:?} (finite, decreasing ⇒ GAT backward is sound)",
+            prefetch.epoch_loss
+        );
+    }
+    println!();
+    println!("paper: up to 39% (CPU) / 15% (GPU) for GAT on papers100M;");
+    println!("CPU overlap near-perfect, GPU partial — same shape expected above.");
+}

@@ -1,0 +1,240 @@
+//! End-to-end engine integration across datasets, backends, model kinds
+//! and modes — the behaviours the paper's evaluation hinges on, asserted
+//! at test scale.
+
+use massivegnn::{Engine, EngineConfig, Mode, PrefetchConfig, ScoreLayout};
+use mgnn_graph::{DatasetKind, Scale};
+use mgnn_model::ModelKind;
+use mgnn_net::Backend;
+use mgnn_sampling::SamplingStrategy;
+
+fn cfg(kind: DatasetKind) -> EngineConfig {
+    EngineConfig {
+        dataset: kind,
+        scale: Scale::Unit,
+        num_parts: 2,
+        trainers_per_part: 2,
+        batch_size: 96,
+        epochs: 2,
+        fanouts: vec![5, 10],
+        hidden_dim: 32,
+        ..Default::default()
+    }
+}
+
+fn prefetch(f_h: f64, gamma: f64, delta: usize) -> Mode {
+    Mode::Prefetch(PrefetchConfig {
+        f_h,
+        gamma,
+        delta,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn every_dataset_preset_trains_in_both_modes() {
+    for kind in DatasetKind::ALL {
+        let base = cfg(kind);
+        let baseline = Engine::build(base.clone()).run();
+        let mut p = base;
+        p.mode = prefetch(0.25, 0.995, 8);
+        let pref = Engine::build(p).run();
+        assert!(baseline.makespan_s > 0.0, "{}", kind.name());
+        assert!(pref.makespan_s > 0.0, "{}", kind.name());
+        assert!(
+            pref.hit_rate() > 0.05,
+            "{}: hit rate {}",
+            kind.name(),
+            pref.hit_rate()
+        );
+    }
+}
+
+#[test]
+fn oracle_holds_for_gcn_too() {
+    let mut base = cfg(DatasetKind::Arxiv);
+    base.model = ModelKind::Gcn;
+    base.train_math = true;
+    let baseline = Engine::build(base.clone()).run();
+    base.mode = prefetch(0.35, 0.99, 4);
+    let pref = Engine::build(base).run();
+    assert_eq!(baseline.final_params, pref.final_params);
+    assert!(!baseline.epoch_loss.is_empty());
+    assert!(baseline.epoch_loss.iter().all(|l| l.is_finite()));
+}
+
+#[test]
+fn oracle_holds_for_gat_too() {
+    // Prefetching must not change GAT training either.
+    let mut base = cfg(DatasetKind::Arxiv);
+    base.model = ModelKind::Gat;
+    base.train_math = true;
+    let baseline = Engine::build(base.clone()).run();
+    base.mode = prefetch(0.35, 0.99, 4);
+    let pref = Engine::build(base).run();
+    assert_eq!(baseline.final_params, pref.final_params);
+}
+
+#[test]
+fn improvement_shape_cpu_vs_gpu() {
+    // The paper's headline shape: prefetch wins on both backends, with
+    // baseline GPU faster than baseline CPU in absolute terms.
+    let base = cfg(DatasetKind::Products);
+    let mut configs = [
+        (Backend::Cpu, 0.0f64, 0.0f64),
+        (Backend::Gpu, 0.0, 0.0),
+    ];
+    for (backend, base_t, pref_t) in configs.iter_mut() {
+        let mut b = base.clone();
+        b.backend = *backend;
+        b.hidden_dim = 64;
+        *base_t = Engine::build(b.clone()).run().makespan_s;
+        b.mode = prefetch(0.5, 0.995, 16);
+        *pref_t = Engine::build(b).run().makespan_s;
+    }
+    let (_, cpu_base, cpu_pref) = configs[0];
+    let (_, gpu_base, gpu_pref) = configs[1];
+    assert!(gpu_base < cpu_base, "GPU baseline must be faster");
+    assert!(cpu_pref < cpu_base, "CPU prefetch must improve");
+    assert!(gpu_pref <= gpu_base * 1.05, "GPU prefetch should not regress badly");
+}
+
+#[test]
+fn larger_buffer_fraction_improves_hit_rate() {
+    let base = cfg(DatasetKind::Products);
+    let mut rates = Vec::new();
+    for f_h in [0.1, 0.3, 0.6] {
+        let mut b = base.clone();
+        b.mode = prefetch(f_h, 0.995, 16);
+        rates.push(Engine::build(b).run().hit_rate());
+    }
+    assert!(
+        rates[2] > rates[0],
+        "f_h=0.6 hit {} should beat f_h=0.1 hit {}",
+        rates[2],
+        rates[0]
+    );
+}
+
+#[test]
+fn hit_rate_declines_with_more_trainers() {
+    // Table III / §V-A3: more trainers ⇒ fewer minibatches per trainer ⇒
+    // less time for the buffer to adapt ⇒ lower hit rate.
+    let mut small = cfg(DatasetKind::Products);
+    small.trainers_per_part = 1;
+    small.mode = prefetch(0.25, 0.995, 8);
+    let few = Engine::build(small).run();
+
+    let mut large = cfg(DatasetKind::Products);
+    large.trainers_per_part = 4;
+    large.mode = prefetch(0.25, 0.995, 8);
+    let many = Engine::build(large).run();
+
+    assert!(few.steps_per_epoch > many.steps_per_epoch);
+    assert!(
+        few.hit_rate() >= many.hit_rate() - 0.05,
+        "few-trainer hit {} vs many-trainer {}",
+        few.hit_rate(),
+        many.hit_rate()
+    );
+}
+
+#[test]
+fn mem_efficient_layout_supports_full_run_on_papers() {
+    let mut base = cfg(DatasetKind::Papers);
+    base.mode = Mode::Prefetch(PrefetchConfig {
+        f_h: 0.5,
+        gamma: 0.995,
+        delta: 8,
+        layout: ScoreLayout::MemEfficient,
+        ..Default::default()
+    });
+    let r = Engine::build(base).run();
+    assert!(r.hit_rate() > 0.1);
+    assert!(r.aggregate_metrics().evictions > 0 || r.steps_per_epoch < 8);
+}
+
+#[test]
+fn longer_training_does_not_degrade_hit_rate() {
+    // Fig. 10's long-run behaviour: the eviction scheme maintains or
+    // grows the hit rate as minibatches accumulate.
+    let mut base = cfg(DatasetKind::Products);
+    base.epochs = 1;
+    base.mode = prefetch(0.25, 0.995, 8);
+    let short = Engine::build(base.clone()).run();
+    base.epochs = 6;
+    let long = Engine::build(base).run();
+    assert!(
+        long.hit_rate() >= short.hit_rate() - 0.02,
+        "long {} vs short {}",
+        long.hit_rate(),
+        short.hit_rate()
+    );
+}
+
+#[test]
+fn prefetch_is_sampler_agnostic() {
+    // §V-A4: "the performance primarily hinges on how the sampler
+    // interacts with the Prefetcher ... versatile across GNN
+    // architectures". Prefetch must deliver wins (and the oracle must
+    // hold) under a different sampling strategy too.
+    for strategy in [SamplingStrategy::Uniform, SamplingStrategy::DegreeWeighted] {
+        let mut base = cfg(DatasetKind::Products);
+        base.sampling = strategy;
+        let baseline = Engine::build(base.clone()).run();
+        let mut p = base.clone();
+        p.mode = prefetch(0.35, 0.995, 8);
+        let pref = Engine::build(p).run();
+        assert!(
+            pref.makespan_s < baseline.makespan_s,
+            "{strategy:?}: prefetch {} vs baseline {}",
+            pref.makespan_s,
+            baseline.makespan_s
+        );
+        assert!(pref.hit_rate() > 0.1, "{strategy:?}: hit {}", pref.hit_rate());
+
+        // Oracle under this sampler as well.
+        let mut bm = base.clone();
+        bm.train_math = true;
+        let b = Engine::build(bm.clone()).run();
+        bm.mode = prefetch(0.35, 0.995, 8);
+        let q = Engine::build(bm).run();
+        assert_eq!(b.final_params, q.final_params, "{strategy:?} oracle broken");
+    }
+}
+
+#[test]
+fn degree_weighted_sampler_has_higher_hit_rate() {
+    // Degree-weighted walks concentrate on hubs, which the degree-based
+    // buffer initialization holds — so hit rates should be at least as
+    // high as under uniform sampling.
+    let mut uni = cfg(DatasetKind::Products);
+    uni.mode = prefetch(0.25, 0.995, 8);
+    let hit_uni = Engine::build(uni).run().hit_rate();
+    let mut wtd = cfg(DatasetKind::Products);
+    wtd.sampling = SamplingStrategy::DegreeWeighted;
+    wtd.mode = prefetch(0.25, 0.995, 8);
+    let hit_wtd = Engine::build(wtd).run().hit_rate();
+    assert!(
+        hit_wtd >= hit_uni - 0.02,
+        "weighted {hit_wtd} vs uniform {hit_uni}"
+    );
+}
+
+#[test]
+fn reports_internally_consistent() {
+    let mut base = cfg(DatasetKind::Reddit);
+    base.mode = prefetch(0.25, 0.995, 8);
+    let r = Engine::build(base).run();
+    let agg = r.aggregate_metrics();
+    // Hits + misses == all halo lookups; hit rate consistent.
+    let total = agg.buffer_hits + agg.buffer_misses;
+    assert!(total > 0);
+    assert!((r.hit_rate() - agg.buffer_hits as f64 / total as f64).abs() < 1e-12);
+    // Every trainer's sim time ≤ makespan.
+    for t in &r.trainers {
+        assert!(t.sim_time_s <= r.makespan_s + 1e-12);
+        assert!(t.overlap_efficiency >= 0.0 && t.overlap_efficiency <= 1.0);
+        assert!(t.minibatches as usize == r.steps_per_epoch * 2);
+    }
+}

@@ -1,0 +1,166 @@
+//! Property-based tests over the model layer: for arbitrary layer sizes
+//! and sampled structures, parameter/gradient flattening must round-trip,
+//! forward shapes must follow block shapes, DDP averaging must be
+//! permutation-invariant, and the MAC estimate must scale monotonically
+//! with the sampled workload.
+
+use mgnn_model::{ring_allreduce_average, GatModel, GcnModel, Model, SageModel};
+use mgnn_sampling::Block;
+use mgnn_tensor::Tensor;
+use proptest::prelude::*;
+
+/// Generate a random valid single block: `num_dst` dsts, extra src nodes,
+/// each dst with up to `max_deg` sampled neighbors.
+fn arb_block(max_dst: usize, max_extra: usize, max_deg: usize) -> impl Strategy<Value = Block> {
+    (1..max_dst, 0..max_extra).prop_flat_map(move |(num_dst, extra)| {
+        let num_src = num_dst + extra;
+        let degs = prop::collection::vec(0..max_deg, num_dst);
+        (Just(num_dst), Just(num_src), degs).prop_flat_map(move |(num_dst, num_src, degs)| {
+            let total: usize = degs.iter().sum();
+            let indices = prop::collection::vec(0..num_src as u32, total);
+            (Just(num_dst), Just(num_src), Just(degs), indices).prop_map(
+                |(num_dst, num_src, degs, indices)| {
+                    let mut offsets = Vec::with_capacity(num_dst + 1);
+                    offsets.push(0u32);
+                    for &d in &degs {
+                        offsets.push(offsets.last().unwrap() + d as u32);
+                    }
+                    // Dedup per-dst neighbor lists to satisfy validate()?
+                    // Block doesn't require per-dst dedup, only src
+                    // uniqueness; construct unique src ids 0..num_src.
+                    Block {
+                        num_dst,
+                        src_nodes: (0..num_src as u32).collect(),
+                        offsets,
+                        indices,
+                    }
+                },
+            )
+        })
+    })
+}
+
+fn make_models(in_dim: usize, hidden: usize, classes: usize, seed: u64) -> Vec<Box<dyn Model>> {
+    vec![
+        Box::new(SageModel::new(&[in_dim, hidden, classes], seed)),
+        Box::new(GatModel::new(&[in_dim, hidden, classes], 2, seed)),
+        Box::new(GcnModel::new(&[in_dim, hidden, classes], seed)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn params_round_trip_all_models(
+        in_dim in 2usize..10,
+        hidden in 2usize..12,
+        classes in 2usize..6,
+        seed in 0u64..1000,
+    ) {
+        for mut m in make_models(in_dim, hidden, classes, seed) {
+            let np = m.num_params();
+            prop_assert!(np > 0);
+            let mut buf = vec![0.0f32; np];
+            m.write_params(&mut buf);
+            // Perturb, load, re-save: must match exactly.
+            for (i, v) in buf.iter_mut().enumerate() {
+                *v += (i % 7) as f32 * 0.01;
+            }
+            m.read_params(&buf);
+            let mut buf2 = vec![0.0f32; np];
+            m.write_params(&mut buf2);
+            prop_assert_eq!(&buf, &buf2);
+        }
+    }
+
+    #[test]
+    fn forward_shapes_follow_blocks(
+        block in arb_block(8, 12, 5),
+        in_dim in 2usize..8,
+    ) {
+        prop_assume!(block.validate().is_ok());
+        let classes = 3;
+        for mut m in make_models(in_dim, 6, classes, 7) {
+            let input = Tensor::from_vec(
+                block.num_src(),
+                in_dim,
+                (0..block.num_src() * in_dim).map(|i| (i % 13) as f32 * 0.05 - 0.3).collect(),
+            );
+            // Single-layer consumption: build 2-layer chain by feeding the
+            // same block twice is invalid (src/dst mismatch); instead make
+            // a trivial second block whose src == first block's dst prefix.
+            let second = Block {
+                num_dst: block.num_dst,
+                src_nodes: block.src_nodes[..block.num_dst].to_vec(),
+                offsets: vec![0; block.num_dst + 1],
+                indices: vec![],
+            };
+            let logits = m.forward(&[block.clone(), second], &input);
+            prop_assert_eq!(logits.shape(), (block.num_dst, classes));
+            prop_assert!(logits.data().iter().all(|v| v.is_finite()));
+            // Backward runs without panicking and grads have param shape.
+            let g = Tensor::from_vec(
+                block.num_dst,
+                classes,
+                vec![0.1; block.num_dst * classes],
+            );
+            m.backward(&g);
+            let mut grads = vec![0.0f32; m.num_params()];
+            m.write_grads(&mut grads);
+            prop_assert!(grads.iter().any(|&x| x != 0.0), "all-zero gradient");
+        }
+    }
+
+    #[test]
+    fn allreduce_permutation_invariant(
+        grads_flat in prop::collection::vec(-1.0f32..1.0, 8..64),
+        world in 2usize..5,
+    ) {
+        let len = grads_flat.len() / world;
+        prop_assume!(len > 0);
+        let grads: Vec<Vec<f32>> = (0..world)
+            .map(|r| grads_flat[r * len..(r + 1) * len].to_vec())
+            .collect();
+        let mut a = grads.clone();
+        ring_allreduce_average(&mut a);
+        let mut b: Vec<Vec<f32>> = grads.iter().rev().cloned().collect();
+        ring_allreduce_average(&mut b);
+        for (x, y) in a[0].iter().zip(&b[0]) {
+            prop_assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn macs_monotone_in_block_size(
+        small_deg in 1usize..4,
+        in_dim in 2usize..8,
+    ) {
+        let make = |deg: usize| -> Block {
+            let num_dst = 4usize;
+            let num_src = 4 + 8;
+            let mut offsets = vec![0u32];
+            let mut indices = Vec::new();
+            for i in 0..num_dst {
+                for j in 0..deg {
+                    indices.push(((i + j) % num_src) as u32);
+                }
+                offsets.push(indices.len() as u32);
+            }
+            Block { num_dst, src_nodes: (0..num_src as u32).collect(), offsets, indices }
+        };
+        let small = make(small_deg);
+        let large = make(small_deg + 3);
+        let trivial = Block {
+            num_dst: 4,
+            src_nodes: (0..4u32).collect(),
+            offsets: vec![0; 5],
+            indices: vec![],
+        };
+        for m in make_models(in_dim, 6, 3, 1) {
+            let ms = m.macs(&[small.clone(), trivial.clone()]);
+            let ml = m.macs(&[large.clone(), trivial.clone()]);
+            prop_assert!(ml > ms, "more edges must cost more MACs");
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based tests over the runtime substrate: cost-model
+//! monotonicity/positivity, metrics accounting, KVStore/cluster pull
+//! consistency under arbitrary ownership, and SpMM-vs-fused-aggregation
+//! equivalence.
+
+use mgnn_net::{Backend, CommMetrics, CostModel, SimCluster};
+use mgnn_sampling::Block;
+use mgnn_tensor::sparse::SparseMatrix;
+use mgnn_tensor::Tensor;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cost_model_monotone_and_positive(
+        nodes in 1usize..100_000,
+        dim in 1usize..1024,
+        world in 1usize..64,
+        macs in 1.0f64..1e12,
+    ) {
+        let c = CostModel::default();
+        prop_assert!(c.t_rpc(nodes, dim) > 0.0);
+        prop_assert!(c.t_rpc(nodes + 1, dim) >= c.t_rpc(nodes, dim));
+        prop_assert!(c.t_rpc(nodes, dim + 1) >= c.t_rpc(nodes, dim));
+        prop_assert!(c.t_copy(nodes, dim) >= 0.0);
+        prop_assert!(c.t_rpc(nodes, dim) > c.t_copy(nodes, dim), "remote must cost more than local");
+        prop_assert!(c.t_allreduce(1 << 20, world + 1) >= c.t_allreduce(1 << 20, world));
+        let cpu = c.t_ddp(macs, nodes * dim * 4, 1 << 20, world, Backend::Cpu);
+        let gpu = c.t_ddp(macs, nodes * dim * 4, 1 << 20, world, Backend::Gpu);
+        prop_assert!(cpu > 0.0 && gpu > 0.0);
+        prop_assert!(gpu <= cpu, "GPU compute must not be slower");
+    }
+
+    #[test]
+    fn scoring_cost_ordering(
+        nodes in 1usize..100_000,
+        halo in 2usize..1_000_000,
+    ) {
+        let c = CostModel::default();
+        let dense = c.t_scoring(nodes, false, halo);
+        let me = c.t_scoring(nodes, true, halo);
+        prop_assert!(me >= dense, "binary-search layout must cost at least as much");
+    }
+
+    #[test]
+    fn metrics_accounting_exact(
+        events in prop::collection::vec((0u64..500, 0u64..500, 1usize..64), 1..50)
+    ) {
+        let m = CommMetrics::new();
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        let mut nodes = 0u64;
+        let mut bytes = 0u64;
+        for &(h, mi, dim) in &events {
+            m.record_lookup(h, mi);
+            m.record_rpc(mi, dim);
+            hits += h;
+            misses += mi;
+            if mi > 0 {
+                nodes += mi;
+                bytes += mi * dim as u64 * 4;
+            }
+        }
+        let s = m.snapshot();
+        prop_assert_eq!(s.buffer_hits, hits);
+        prop_assert_eq!(s.buffer_misses, misses);
+        prop_assert_eq!(s.remote_nodes_fetched, nodes);
+        prop_assert_eq!(s.remote_bytes, bytes);
+        if hits + misses > 0 {
+            prop_assert!((s.hit_rate() - hits as f64 / (hits + misses) as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cluster_pull_matches_ground_truth_for_any_assignment(
+        assignment in prop::collection::vec(0u32..4, 8..60),
+        queries in prop::collection::vec(0usize..60, 1..30),
+    ) {
+        let n = assignment.len();
+        let g = mgnn_graph::generators::erdos_renyi(n.max(2), n * 3, 5);
+        let f = mgnn_graph::FeatureStore::synthesize(&g, 4, 2, 9);
+        let cluster = SimCluster::new(&f, &assignment, 4);
+        let ids: Vec<u32> = queries.into_iter().map(|q| (q % n) as u32).collect();
+        let (out, rpcs) = cluster.pull_grouped(&ids);
+        prop_assert!(rpcs <= 4);
+        for (i, &gid) in ids.iter().enumerate() {
+            prop_assert_eq!(&out[i * 4..(i + 1) * 4], f.row(gid));
+        }
+    }
+
+    #[test]
+    fn spmm_equals_fused_sage_aggregation(
+        num_dst in 1usize..10,
+        extra in 0usize..10,
+        deg in 0usize..6,
+        seed in 0u64..500,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let num_src = num_dst + extra;
+        let mut offsets = vec![0u32];
+        let mut indices = Vec::new();
+        for _ in 0..num_dst {
+            let d = rng.gen_range(0..=deg);
+            for _ in 0..d {
+                indices.push(rng.gen_range(0..num_src as u32));
+            }
+            offsets.push(indices.len() as u32);
+        }
+        let block = Block {
+            num_dst,
+            src_nodes: (0..num_src as u32).collect(),
+            offsets: offsets.clone(),
+            indices: indices.clone(),
+        };
+        let dim = 3;
+        let x = Tensor::from_vec(
+            num_src,
+            dim,
+            (0..num_src * dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+        );
+        // Reference: explicit sparse mean aggregator.
+        let a = SparseMatrix::mean_aggregator(num_dst, num_src, &offsets, &indices);
+        let via_spmm = a.spmm(&x);
+        // Fused: replicate SAGE's neighbor-mean loop.
+        let mut fused = Tensor::zeros(num_dst, dim);
+        for i in 0..num_dst {
+            let nbrs = block.neighbors_of(i);
+            if nbrs.is_empty() {
+                continue;
+            }
+            let inv = 1.0 / nbrs.len() as f32;
+            let row = fused.row_mut(i);
+            for &j in nbrs {
+                for (r, &v) in row.iter_mut().zip(x.row(j as usize)) {
+                    *r += v;
+                }
+            }
+            for r in row.iter_mut() {
+                *r *= inv;
+            }
+        }
+        for (p, q) in via_spmm.data().iter().zip(fused.data()) {
+            prop_assert!((p - q).abs() < 1e-5, "{p} vs {q}");
+        }
+    }
+}
