@@ -64,10 +64,10 @@ pub struct CacheSim {
     /// LRU where front = oldest).
     occupants: Vec<u32>,
     // Per-policy state.
-    last_used: Vec<u64>,  // LRU timestamps, per halo
-    freq: Vec<u64>,       // LFU counts, per halo
-    s_e: Vec<f64>,        // score-based: aligned with occupants
-    s_a: Vec<f64>,        // score-based: per halo
+    last_used: Vec<u64>, // LRU timestamps, per halo
+    freq: Vec<u64>,      // LFU counts, per halo
+    s_e: Vec<f64>,       // score-based: aligned with occupants
+    s_a: Vec<f64>,       // score-based: per halo
     step: u64,
     rng: StdRng,
     /// Running hit/miss record.
@@ -194,13 +194,15 @@ impl CacheSim {
                 for &h in &misses_list {
                     self.s_a[h as usize] += 1.0;
                 }
-                if delta > 0 && self.step % delta as u64 == 0 {
+                if delta > 0 && self.step.is_multiple_of(delta as u64) {
                     self.maintenance_events += 1;
                     let alpha = gamma.powi(delta as i32);
-                    // Eviction candidates below threshold, ascending score.
+                    // Eviction candidates at/below threshold (Eq. 1 is
+                    // inclusive — see scoreboard::meets_eviction_threshold),
+                    // ascending score.
                     let mut evict: Vec<usize> = (0..self.occupants.len())
                         .filter(|&i| {
-                            self.s_e[i] < alpha
+                            crate::scoreboard::meets_eviction_threshold(self.s_e[i], alpha)
                                 && self.last_used[self.occupants[i] as usize] != self.step
                         })
                         .collect();
@@ -282,7 +284,12 @@ mod tests {
     /// A synthetic skewed stream: node h is sampled with probability
     /// proportional to a power-law over a shuffled popularity ranking, so
     /// the popular set is stable but not identical to the initial set.
-    fn skewed_stream(num_halo: usize, minibatches: usize, per_mb: usize, seed: u64) -> Vec<Vec<u32>> {
+    fn skewed_stream(
+        num_halo: usize,
+        minibatches: usize,
+        per_mb: usize,
+        seed: u64,
+    ) -> Vec<Vec<u32>> {
         let mut rng = StdRng::seed_from_u64(seed);
         // popularity rank: permutation of halo ids
         let mut rank: Vec<u32> = (0..num_halo as u32).collect();
@@ -317,7 +324,10 @@ mod tests {
         let stream = skewed_stream(500, 60, 40, 1);
         let initial = initial_random(500, 100);
         let policies = [
-            CachePolicy::ScoreBased { gamma: 0.95, delta: 8 },
+            CachePolicy::ScoreBased {
+                gamma: 0.95,
+                delta: 8,
+            },
             CachePolicy::Static,
             CachePolicy::Lru,
             CachePolicy::Lfu,
@@ -336,7 +346,10 @@ mod tests {
         let stream = skewed_stream(800, 150, 50, 7);
         let initial = initial_random(800, 150);
         let policies = [
-            CachePolicy::ScoreBased { gamma: 0.95, delta: 8 },
+            CachePolicy::ScoreBased {
+                gamma: 0.95,
+                delta: 8,
+            },
             CachePolicy::Static,
             CachePolicy::Lru,
             CachePolicy::Lfu,
@@ -355,7 +368,10 @@ mod tests {
         let initial = initial_random(500, 100);
         let sims = replay_policies(
             &[
-                CachePolicy::ScoreBased { gamma: 0.95, delta: 16 },
+                CachePolicy::ScoreBased {
+                    gamma: 0.95,
+                    delta: 16,
+                },
                 CachePolicy::Lru,
             ],
             500,

@@ -28,7 +28,10 @@ impl PrefetchBuffer {
     /// An empty buffer for a partition with `num_halo` halo nodes and the
     /// given fixed `capacity` (`≤ num_halo`).
     pub fn new(num_halo: usize, capacity: usize, dim: usize) -> Self {
-        assert!(capacity <= num_halo, "capacity {capacity} > halo {num_halo}");
+        assert!(
+            capacity <= num_halo,
+            "capacity {capacity} > halo {num_halo}"
+        );
         PrefetchBuffer {
             dim,
             slot_of_halo: vec![NONE; num_halo],

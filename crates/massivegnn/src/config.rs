@@ -97,14 +97,20 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_ranges() {
-        let mut c = PrefetchConfig::default();
-        c.f_h = 1.5;
+        let mut c = PrefetchConfig {
+            f_h: 1.5,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        c = PrefetchConfig::default();
-        c.gamma = -0.1;
+        c = PrefetchConfig {
+            gamma: -0.1,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        c = PrefetchConfig::default();
-        c.delta = 0;
+        c = PrefetchConfig {
+            delta: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
         c = c.without_eviction();
         assert!(c.validate().is_ok(), "delta=0 fine without eviction");

@@ -19,17 +19,21 @@
 use crate::config::PrefetchConfig;
 use crate::hitrate::HitRateTracker;
 use crate::init::{initialize_prefetcher, InitReport};
-use crate::prefetcher::{baseline_prepare, PreparedBatch, Prefetcher};
+use crate::pipeline::PrefetchPipeline;
+use crate::prefetcher::{baseline_prepare, Prefetcher, PreparedBatch};
 use mgnn_graph::{Dataset, DatasetKind, Scale};
 use mgnn_model::{
-    train::forward_backward, GatModel, GcnModel, Model, ModelKind, Optimizer, SageModel, Sgd,
+    train::{forward_backward, StepStats},
+    GatModel, GcnModel, Model, ModelKind, Optimizer, SageModel, Sgd,
 };
-use mgnn_net::metrics::MetricsSnapshot;
 use mgnn_net::clock::PipelineClock;
+use mgnn_net::metrics::MetricsSnapshot;
 use mgnn_net::{Backend, CommMetrics, CostModel, SimClock, SimCluster};
-use mgnn_partition::{build_local_partitions, multilevel_partition, split_train_nodes, LocalPartition};
+use mgnn_partition::{
+    build_local_partitions, multilevel_partition, split_train_nodes, LocalPartition,
+};
 use mgnn_sampling::{DataLoader, NeighborSampler, SamplingStrategy};
-use std::sync::Arc;
+use std::sync::{Arc, Barrier, Mutex};
 
 /// Baseline DistDGL vs the paper's prefetch scheme.
 #[derive(Debug, Clone, Copy)]
@@ -47,10 +51,9 @@ impl Mode {
     pub fn label(&self) -> String {
         match self {
             Mode::Baseline => "DistDGL".into(),
-            Mode::Prefetch(c) if c.eviction => format!(
-                "Prefetch+Evict(f={},γ={},Δ={})",
-                c.f_h, c.gamma, c.delta
-            ),
+            Mode::Prefetch(c) if c.eviction => {
+                format!("Prefetch+Evict(f={},γ={},Δ={})", c.f_h, c.gamma, c.delta)
+            }
             Mode::Prefetch(c) => format!("Prefetch(f={})", c.f_h),
         }
     }
@@ -93,6 +96,10 @@ pub struct EngineConfig {
     /// Run real tensor math + DDP updates (slower; exact parameters) or
     /// only the data pipeline + cost accounting (fast; identical counts).
     pub train_math: bool,
+    /// Step every trainer on its own OS thread with a per-step DDP
+    /// barrier (wall-clock parallelism; results are bitwise-identical to
+    /// the sequential engine) instead of round-robin on one thread.
+    pub parallel: bool,
 }
 
 impl Default for EngineConfig {
@@ -114,6 +121,7 @@ impl Default for EngineConfig {
             seed: 42,
             cost: CostModel::default(),
             train_math: false,
+            parallel: false,
         }
     }
 }
@@ -259,13 +267,133 @@ impl RunReport {
         if self.trainers.is_empty() {
             return 1.0;
         }
-        let mean = self.trainers.iter().map(|t| t.sim_time_s).sum::<f64>()
-            / self.trainers.len() as f64;
+        let mean =
+            self.trainers.iter().map(|t| t.sim_time_s).sum::<f64>() / self.trainers.len() as f64;
         if mean == 0.0 {
             1.0
         } else {
             self.makespan_s / mean
         }
+    }
+}
+
+/// Per-trainer mutable state. Everything in here is `Send`, so the
+/// threaded engine can move each trainer onto its own worker thread.
+struct TrainerState {
+    part: Arc<LocalPartition>,
+    loader: DataLoader,
+    sampler: NeighborSampler,
+    prefetcher: Option<Prefetcher>,
+    metrics: Arc<CommMetrics>,
+    clock: SimClock,
+    pipeline: Option<PipelineClock>,
+    hits: HitRateTracker,
+    breakdown: Breakdown,
+    init: InitReport,
+    model: Option<Box<dyn Model>>,
+    opt: Box<dyn Optimizer>,
+    pending: Option<PreparedBatch>,
+    halo_frac_sum: f64,
+    peak_step_bytes: usize,
+}
+
+/// Read-only per-run context shared by the sequential loop and every
+/// worker thread. Both execution paths go through the same
+/// [`TrainerState`] helpers below — that shared code (plus fixed
+/// per-accumulator operation order) is what makes the threaded engine
+/// bitwise-reproducible against the sequential one.
+struct StepCtx<'a> {
+    cfg: &'a EngineConfig,
+    cost: &'a CostModel,
+    world: usize,
+    param_bytes: usize,
+}
+
+impl TrainerState {
+    /// Fold one prepared batch's timing and counters into the per-trainer
+    /// accumulators. Called once per batch in preparation order, so every
+    /// floating-point sum sees the same operand sequence on both engines.
+    fn account_prepared(&mut self, batch: &PreparedBatch, baseline: bool) {
+        self.breakdown.add_prepare(&batch.timing);
+        if baseline {
+            self.hits.record(0, batch.counts.misses as u64);
+        } else {
+            self.hits
+                .record(batch.counts.hits as u64, batch.counts.misses as u64);
+        }
+        self.halo_frac_sum += if self.part.num_halo() == 0 {
+            0.0
+        } else {
+            batch.counts.halo as f64 / self.part.num_halo() as f64
+        };
+    }
+
+    /// Train on one batch: modeled DDP time, the real tensor math when
+    /// enabled, and the clock advance (serial Eq. 2 in baseline mode, the
+    /// bounded-queue pipeline clock in prefetch mode). Returns the step's
+    /// loss/accuracy when real math ran.
+    fn train_on(
+        &mut self,
+        batch: &PreparedBatch,
+        shape_model: &dyn Model,
+        ctx: &StepCtx,
+    ) -> Option<StepStats> {
+        let step_bytes = batch.input.data().len() * 4;
+        self.peak_step_bytes = self.peak_step_bytes.max(step_bytes);
+
+        // Training time for this batch.
+        let macs = if let Some(m) = self.model.as_ref() {
+            m.macs(&batch.minibatch.blocks)
+        } else {
+            shape_model.macs(&batch.minibatch.blocks)
+        };
+        let input_bytes = batch.input.data().len() * 4;
+        let t_train = ctx.cost.t_ddp(
+            macs,
+            input_bytes,
+            ctx.param_bytes,
+            ctx.world,
+            ctx.cfg.backend,
+        );
+        self.breakdown.train_s += t_train;
+
+        // Real math, if enabled.
+        let stats = self.model.as_mut().map(|model| {
+            forward_backward(
+                model.as_mut(),
+                &batch.minibatch.blocks,
+                &batch.input,
+                &batch.labels,
+            )
+        });
+
+        // Advance the clock: baseline is serial (Eq. 2); prefetch feeds
+        // the bounded-queue pipeline clock (Eqs. 4–5 generalized to
+        // lookahead ≥ 1).
+        match ctx.cfg.mode {
+            Mode::Baseline => {
+                let t =
+                    batch.timing.t_sampling + batch.timing.t_rpc.max(batch.timing.t_copy) + t_train;
+                self.clock.advance(t);
+            }
+            Mode::Prefetch(_) => {
+                self.pipeline
+                    .as_mut()
+                    .unwrap()
+                    .step(batch.timing.t_prepare(), t_train);
+            }
+        }
+        stats
+    }
+
+    /// DDP update with pre-averaged gradients: one optimizer step applied
+    /// to the local replica (identical arithmetic on both engines).
+    fn apply_averaged_grads(&mut self, grads: &[f32]) {
+        let m = self.model.as_mut().unwrap();
+        let mut params = vec![0.0f32; m.num_params()];
+        m.write_params(&mut params);
+        self.opt.step(&mut params, grads);
+        m.read_params(&params);
     }
 }
 
@@ -362,35 +490,12 @@ impl Engine {
         }
     }
 
-    /// Run the configured mode end to end.
-    pub fn run(&self) -> RunReport {
+    /// Build the per-trainer worker states in trainer order.
+    fn build_trainer_states(&self) -> Vec<TrainerState> {
         let cfg = &self.cfg;
-        let world = self.world();
-        let steps_per_epoch = self.steps_per_epoch();
         let cost = &cfg.cost;
         let num_global = self.dataset.num_nodes();
-
-        // Per-trainer state.
-        struct TrainerState {
-            part: Arc<LocalPartition>,
-            loader: DataLoader,
-            sampler: NeighborSampler,
-            prefetcher: Option<Prefetcher>,
-            metrics: Arc<CommMetrics>,
-            clock: SimClock,
-            pipeline: Option<PipelineClock>,
-            hits: HitRateTracker,
-            breakdown: Breakdown,
-            init: InitReport,
-            model: Option<Box<dyn Model>>,
-            opt: Box<dyn Optimizer>,
-            pending: Option<PreparedBatch>,
-            halo_frac_sum: f64,
-            peak_step_bytes: usize,
-        }
-
-        let mut trainers: Vec<TrainerState> = self
-            .trainer_shards
+        self.trainer_shards
             .iter()
             .enumerate()
             .map(|(t, (pid, seeds))| {
@@ -448,11 +553,37 @@ impl Engine {
                     peak_step_bytes: 0,
                 }
             })
-            .collect();
+            .collect()
+    }
+
+    /// Run the configured mode end to end. With [`EngineConfig::parallel`]
+    /// set, every trainer gets its own OS thread (plus a prepare thread in
+    /// prefetch mode) and the run report is bitwise-identical to the
+    /// sequential engine's; otherwise the trainers are stepped round-robin
+    /// on the calling thread.
+    pub fn run(&self) -> RunReport {
+        if self.cfg.parallel {
+            self.run_parallel()
+        } else {
+            self.run_sequential()
+        }
+    }
+
+    fn run_sequential(&self) -> RunReport {
+        let cfg = &self.cfg;
+        let world = self.world();
+        let steps_per_epoch = self.steps_per_epoch();
+        let cost = &cfg.cost;
+        let mut trainers = self.build_trainer_states();
 
         // A shape-only model for MAC estimation when math is off.
         let shape_model = self.make_model();
-        let param_bytes = shape_model.num_params() * 4;
+        let ctx = StepCtx {
+            cfg,
+            cost,
+            world,
+            param_bytes: shape_model.num_params() * 4,
+        };
 
         // Prefetch mode: prepare the first minibatch (Eq. 4's serial
         // term is accounted by the pipeline clock when the batch is
@@ -471,14 +602,7 @@ impl Engine {
                     cost,
                     &ts.metrics,
                 );
-                ts.breakdown.add_prepare(&batch.timing);
-                ts.hits
-                    .record(batch.counts.hits as u64, batch.counts.misses as u64);
-                ts.halo_frac_sum += if ts.part.num_halo() == 0 {
-                    0.0
-                } else {
-                    batch.counts.halo as f64 / ts.part.num_halo() as f64
-                };
+                ts.account_prepared(&batch, false);
                 ts.pending = Some(batch);
             }
         }
@@ -510,90 +634,42 @@ impl Engine {
                                 cost,
                                 &ts.metrics,
                             );
-                            ts.breakdown.add_prepare(&b.timing);
-                            ts.hits.record(0, b.counts.misses as u64);
-                            ts.halo_frac_sum += if ts.part.num_halo() == 0 {
-                                0.0
-                            } else {
-                                b.counts.halo as f64 / ts.part.num_halo() as f64
-                            };
+                            ts.account_prepared(&b, true);
                             b
                         }
                         Mode::Prefetch(_) => ts.pending.take().expect("queue empty"),
                     };
-                    let step_bytes = batch.input.data().len() * 4;
-                    ts.peak_step_bytes = ts.peak_step_bytes.max(step_bytes);
-
-                    // Training time for this batch.
-                    let macs = if let Some(m) = ts.model.as_ref() {
-                        m.macs(&batch.minibatch.blocks)
-                    } else {
-                        shape_model.macs(&batch.minibatch.blocks)
-                    };
-                    let input_bytes = batch.input.data().len() * 4;
-                    let t_train =
-                        cost.t_ddp(macs, input_bytes, param_bytes, world, cfg.backend);
-                    ts.breakdown.train_s += t_train;
-
-                    // Real math, if enabled.
-                    if let Some(model) = ts.model.as_mut() {
-                        let stats = forward_backward(
-                            model.as_mut(),
-                            &batch.minibatch.blocks,
-                            &batch.input,
-                            &batch.labels,
-                        );
+                    if let Some(stats) = ts.train_on(&batch, shape_model.as_ref(), &ctx) {
                         loss_sum += stats.loss as f64;
                         acc_sum += stats.accuracy;
                         stat_count += 1;
                     }
 
-                    // Advance the clock: baseline is serial (Eq. 2);
-                    // prefetch feeds the bounded-queue pipeline clock
-                    // (Eqs. 4–5 generalized to lookahead ≥ 1).
-                    match cfg.mode {
-                        Mode::Baseline => {
-                            let t = batch.timing.t_sampling
-                                + batch.timing.t_rpc.max(batch.timing.t_copy)
-                                + t_train;
-                            ts.clock.advance(t);
-                        }
-                        Mode::Prefetch(_) => {
-                            ts.pipeline
-                                .as_mut()
-                                .unwrap()
-                                .step(batch.timing.t_prepare(), t_train);
-                            let next_global = global_step + 1;
-                            if (next_global as usize) < total_steps {
-                                let (nepoch, nstep) = (
-                                    next_global / steps_per_epoch as u64,
-                                    next_global % steps_per_epoch as u64,
-                                );
-                                let seeds =
-                                    ts.loader.epoch(nepoch)[nstep as usize].clone();
-                                let pf = ts.prefetcher.as_mut().unwrap();
-                                let next = pf.prepare(
-                                    &ts.part,
-                                    &ts.sampler,
-                                    &seeds,
-                                    nepoch,
-                                    next_global,
-                                    &self.cluster,
-                                    cost,
-                                    &ts.metrics,
-                                );
-                                ts.breakdown.add_prepare(&next.timing);
-                                ts.hits.record(
-                                    next.counts.hits as u64,
-                                    next.counts.misses as u64,
-                                );
-                                ts.halo_frac_sum += if ts.part.num_halo() == 0 {
-                                    0.0
-                                } else {
-                                    next.counts.halo as f64 / ts.part.num_halo() as f64
-                                };
-                                ts.pending = Some(next);
-                            }
+                    // Prefetch: prepare the next minibatch (the threaded
+                    // engine runs this on a real prepare thread; here it
+                    // interleaves with training and the overlap is modeled
+                    // by the pipeline clock).
+                    if matches!(cfg.mode, Mode::Prefetch(_)) {
+                        let next_global = global_step + 1;
+                        if (next_global as usize) < total_steps {
+                            let (nepoch, nstep) = (
+                                next_global / steps_per_epoch as u64,
+                                next_global % steps_per_epoch as u64,
+                            );
+                            let seeds = ts.loader.epoch(nepoch)[nstep as usize].clone();
+                            let pf = ts.prefetcher.as_mut().unwrap();
+                            let next = pf.prepare(
+                                &ts.part,
+                                &ts.sampler,
+                                &seeds,
+                                nepoch,
+                                next_global,
+                                &self.cluster,
+                                cost,
+                                &ts.metrics,
+                            );
+                            ts.account_prepared(&next, false);
+                            ts.pending = Some(next);
                         }
                     }
                 }
@@ -612,11 +688,7 @@ impl Engine {
                         .collect();
                     mgnn_model::ring_allreduce_average(&mut grads);
                     for (ts, g) in trainers.iter_mut().zip(&grads) {
-                        let m = ts.model.as_mut().unwrap();
-                        let mut params = vec![0.0f32; m.num_params()];
-                        m.write_params(&mut params);
-                        ts.opt.step(&mut params, g);
-                        m.read_params(&params);
+                        ts.apply_averaged_grads(g);
                     }
                 }
                 global_step += 1;
@@ -627,6 +699,161 @@ impl Engine {
             }
         }
 
+        self.finalize(trainers, total_steps, epoch_loss, epoch_acc)
+    }
+
+    /// Threaded engine: one worker thread per trainer (plus one prepare
+    /// thread per trainer in prefetch mode, via [`PrefetchPipeline`]).
+    /// With `train_math`, workers rendezvous at a per-step [`Barrier`]
+    /// whose leader ring-allreduces the gradient slots in fixed trainer
+    /// order — exactly the sequential engine's arithmetic — before each
+    /// worker applies its local optimizer step.
+    fn run_parallel(&self) -> RunReport {
+        let cfg = &self.cfg;
+        let world = self.world();
+        let steps_per_epoch = self.steps_per_epoch();
+        let total_steps = cfg.epochs * steps_per_epoch;
+        let trainers = self.build_trainer_states();
+        let ctx = StepCtx {
+            cfg,
+            cost: &cfg.cost,
+            world,
+            param_bytes: self.make_model().num_params() * 4,
+        };
+
+        // One gradient slot per trainer, averaged by the barrier leader.
+        let grad_slots = Mutex::new(vec![Vec::<f32>::new(); world]);
+        let barrier = Barrier::new(world);
+
+        let mut results: Vec<(TrainerState, Vec<StepStats>)> = Vec::with_capacity(world);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = trainers
+                .into_iter()
+                .enumerate()
+                .map(|(t, mut ts)| {
+                    let ctx = &ctx;
+                    let barrier = &barrier;
+                    let grad_slots = &grad_slots;
+                    s.spawn(move || {
+                        let shape_model = self.make_model();
+                        let mut stats_log: Vec<StepStats> = Vec::new();
+                        // Prefetch mode: hand the prefetcher to a dedicated
+                        // prepare thread walking the engine's epoch/step
+                        // schedule; this worker consumes its bounded queue.
+                        let feed = ts.prefetcher.take().map(|pf| {
+                            PrefetchPipeline::spawn(
+                                pf,
+                                Arc::clone(&ts.part),
+                                ts.sampler.clone(),
+                                ts.loader.clone(),
+                                Arc::clone(&self.cluster),
+                                cfg.cost.clone(),
+                                Arc::clone(&ts.metrics),
+                                cfg.epochs,
+                                steps_per_epoch,
+                            )
+                        });
+                        let mut global_step = 0u64;
+                        for epoch in 0..cfg.epochs as u64 {
+                            for step in 0..steps_per_epoch as u64 {
+                                let batch = if let Some(feed) = &feed {
+                                    let b = feed.next().expect("prepare thread ended early");
+                                    ts.account_prepared(&b, false);
+                                    b
+                                } else {
+                                    let seeds = ts.loader.epoch(epoch)[step as usize].clone();
+                                    let b = baseline_prepare(
+                                        &ts.part,
+                                        &ts.sampler,
+                                        &seeds,
+                                        epoch,
+                                        global_step,
+                                        &self.cluster,
+                                        ctx.cost,
+                                        &ts.metrics,
+                                    );
+                                    ts.account_prepared(&b, true);
+                                    b
+                                };
+                                if let Some(stats) = ts.train_on(&batch, shape_model.as_ref(), ctx)
+                                {
+                                    stats_log.push(stats);
+                                }
+                                if cfg.train_math {
+                                    // Per-step DDP barrier.
+                                    {
+                                        let m = ts.model.as_ref().unwrap();
+                                        let mut g = vec![0.0f32; m.num_params()];
+                                        m.write_grads(&mut g);
+                                        grad_slots.lock().unwrap()[t] = g;
+                                    }
+                                    if barrier.wait().is_leader() {
+                                        let mut slots = grad_slots.lock().unwrap();
+                                        mgnn_model::ring_allreduce_average(&mut slots);
+                                    }
+                                    barrier.wait();
+                                    let g = std::mem::take(&mut grad_slots.lock().unwrap()[t]);
+                                    ts.apply_averaged_grads(&g);
+                                }
+                                global_step += 1;
+                            }
+                        }
+                        // Recover the prefetcher (buffer + scoreboards) for
+                        // the memory accounting in the report.
+                        if let Some(feed) = feed {
+                            ts.prefetcher = Some(feed.join());
+                        }
+                        (ts, stats_log)
+                    })
+                })
+                .collect();
+            // Join in trainer order so reports keep their indices.
+            results = handles
+                .into_iter()
+                .map(|h| h.join().expect("trainer thread panicked"))
+                .collect();
+        });
+
+        let (trainers, stats): (Vec<TrainerState>, Vec<Vec<StepStats>>) =
+            results.into_iter().unzip();
+
+        // Fold epoch statistics in the sequential engine's exact order
+        // (step-major, trainer-minor) so the f64 sums are bitwise equal.
+        let mut epoch_loss = Vec::new();
+        let mut epoch_acc = Vec::new();
+        if cfg.train_math {
+            for epoch in 0..cfg.epochs {
+                let mut loss_sum = 0.0f64;
+                let mut acc_sum = 0.0f64;
+                let mut stat_count = 0usize;
+                for step in 0..steps_per_epoch {
+                    let g = epoch * steps_per_epoch + step;
+                    for per_trainer in &stats {
+                        let st = per_trainer[g];
+                        loss_sum += st.loss as f64;
+                        acc_sum += st.accuracy;
+                        stat_count += 1;
+                    }
+                }
+                if stat_count > 0 {
+                    epoch_loss.push((loss_sum / stat_count as f64) as f32);
+                    epoch_acc.push(acc_sum / stat_count as f64);
+                }
+            }
+        }
+        self.finalize(trainers, total_steps, epoch_loss, epoch_acc)
+    }
+
+    /// Assemble the [`RunReport`] from finished trainer states (shared by
+    /// both execution paths).
+    fn finalize(
+        &self,
+        trainers: Vec<TrainerState>,
+        total_steps: usize,
+        epoch_loss: Vec<f32>,
+        epoch_acc: Vec<f64>,
+    ) -> RunReport {
+        let cfg = &self.cfg;
         let final_params = if cfg.train_math && !trainers.is_empty() {
             let m = trainers[0].model.as_ref().unwrap();
             let mut p = vec![0.0f32; m.num_params()];
@@ -640,7 +867,7 @@ impl Engine {
             .into_iter()
             .enumerate()
             .map(|(t, ts)| {
-                let minibatches = global_step.min(total_steps as u64);
+                let minibatches = total_steps as u64;
                 let persistent = ts
                     .prefetcher
                     .as_ref()
@@ -648,7 +875,11 @@ impl Engine {
                     .unwrap_or(0);
                 let (sim_time_s, stall_s, overlap_efficiency) = match &ts.pipeline {
                     Some(p) => (p.now(), p.stall(), p.overlap_efficiency()),
-                    None => (ts.clock.now(), ts.clock.stall(), ts.clock.overlap_efficiency()),
+                    None => (
+                        ts.clock.now(),
+                        ts.clock.stall(),
+                        ts.clock.overlap_efficiency(),
+                    ),
                 };
                 TrainerReport {
                     part_id: ts.part.part_id,
@@ -672,17 +903,14 @@ impl Engine {
             })
             .collect();
 
-        let makespan = reports
-            .iter()
-            .map(|r| r.sim_time_s)
-            .fold(0.0f64, f64::max);
+        let makespan = reports.iter().map(|r| r.sim_time_s).fold(0.0f64, f64::max);
 
         RunReport {
             mode_label: cfg.mode.label(),
             trainers: reports,
             makespan_s: makespan,
-            steps_per_epoch,
-            world,
+            steps_per_epoch: self.steps_per_epoch(),
+            world: self.world(),
             epoch_loss,
             epoch_acc,
             final_params,
@@ -708,7 +936,8 @@ impl Engine {
                 .val_nodes
                 .iter()
                 .filter_map(|&g| {
-                    part.local_id(g).filter(|&l| (l as usize) < part.num_local())
+                    part.local_id(g)
+                        .filter(|&l| (l as usize) < part.num_local())
                 })
                 .collect();
             let store = self.cluster.store(part.part_id);
@@ -721,8 +950,7 @@ impl Engine {
                     let owner = self.cluster.owner(gid);
                     input.extend_from_slice(self.cluster.store(owner).row(gid));
                 }
-                let input =
-                    mgnn_tensor::Tensor::from_vec(mb.input_nodes.len(), dim, input);
+                let input = mgnn_tensor::Tensor::from_vec(mb.input_nodes.len(), dim, input);
                 let logits = model.forward(&mb.blocks, &input);
                 let labels: Vec<u32> = mb
                     .seeds
@@ -741,7 +969,6 @@ impl Engine {
         }
     }
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -807,7 +1034,11 @@ mod tests {
             p.remote_nodes_fetched,
             b.remote_nodes_fetched
         );
-        assert!(prefetch.hit_rate() > 0.2, "hit rate {}", prefetch.hit_rate());
+        assert!(
+            prefetch.hit_rate() > 0.2,
+            "hit rate {}",
+            prefetch.hit_rate()
+        );
         assert!(
             prefetch.makespan_s < baseline.makespan_s,
             "prefetch {} vs baseline {}",
@@ -1017,8 +1248,14 @@ mod tests {
             times.push(r.makespan_s);
             stalls.push(r.trainers.iter().map(|t| t.stall_s).sum::<f64>());
         }
-        assert!(times[1] <= times[0] * 1.0001, "deeper queue slower: {times:?}");
-        assert!(stalls[1] <= stalls[0] + 1e-9, "deeper queue stalls more: {stalls:?}");
+        assert!(
+            times[1] <= times[0] * 1.0001,
+            "deeper queue slower: {times:?}"
+        );
+        assert!(
+            stalls[1] <= stalls[0] + 1e-9,
+            "deeper queue stalls more: {stalls:?}"
+        );
     }
 
     #[test]
@@ -1027,6 +1264,77 @@ mod tests {
         let li = report.load_imbalance();
         assert!(li >= 1.0, "imbalance {li} below 1");
         assert!(li < 3.0, "implausible imbalance {li}");
+    }
+
+    /// Field-by-field bitwise comparison of two run reports.
+    fn assert_reports_identical(a: &RunReport, b: &RunReport) {
+        assert_eq!(a.mode_label, b.mode_label);
+        assert_eq!(a.final_params, b.final_params, "final params differ");
+        assert_eq!(a.epoch_loss, b.epoch_loss, "epoch losses differ");
+        assert_eq!(a.epoch_acc, b.epoch_acc, "epoch accuracies differ");
+        assert_eq!(a.aggregate_metrics(), b.aggregate_metrics());
+        assert_eq!(a.makespan_s, b.makespan_s, "makespan differs");
+        assert_eq!(a.trainers.len(), b.trainers.len());
+        for (x, y) in a.trainers.iter().zip(&b.trainers) {
+            assert_eq!(x.part_id, y.part_id);
+            assert_eq!(x.sim_time_s, y.sim_time_s, "sim time differs");
+            assert_eq!(x.stall_s, y.stall_s);
+            assert_eq!(x.overlap_efficiency, y.overlap_efficiency);
+            assert_eq!(x.metrics, y.metrics, "per-trainer metrics differ");
+            assert_eq!(x.minibatches, y.minibatches);
+            assert_eq!(x.peak_bytes, y.peak_bytes, "peak bytes differ");
+            assert_eq!(x.remote_sampled_frac, y.remote_sampled_frac);
+            assert_eq!(x.hits.len(), y.hits.len());
+            for i in 0..x.hits.len() {
+                assert_eq!(x.hits.at(i), y.hits.at(i), "hit history differs at {i}");
+            }
+            assert_eq!(x.breakdown.sampling_s, y.breakdown.sampling_s);
+            assert_eq!(x.breakdown.lookup_s, y.breakdown.lookup_s);
+            assert_eq!(x.breakdown.scoring_s, y.breakdown.scoring_s);
+            assert_eq!(x.breakdown.evict_s, y.breakdown.evict_s);
+            assert_eq!(x.breakdown.rpc_s, y.breakdown.rpc_s);
+            assert_eq!(x.breakdown.copy_s, y.breakdown.copy_s);
+            assert_eq!(x.breakdown.train_s, y.breakdown.train_s);
+        }
+    }
+
+    #[test]
+    fn threaded_baseline_bitwise_identical_to_sequential() {
+        let mut cfg = base_cfg();
+        cfg.train_math = true;
+        let seq = Engine::build(cfg.clone()).run();
+        cfg.parallel = true;
+        let par = Engine::build(cfg).run();
+        assert!(!seq.final_params.is_empty());
+        assert_reports_identical(&seq, &par);
+    }
+
+    #[test]
+    fn threaded_prefetch_bitwise_identical_to_sequential() {
+        let mut cfg = base_cfg();
+        cfg.train_math = true;
+        cfg.mode = prefetch_mode();
+        let seq = Engine::build(cfg.clone()).run();
+        cfg.parallel = true;
+        let par = Engine::build(cfg).run();
+        assert!(!seq.final_params.is_empty());
+        assert!(
+            seq.aggregate_metrics().evictions > 0,
+            "want evictions in play"
+        );
+        assert_reports_identical(&seq, &par);
+    }
+
+    #[test]
+    fn threaded_prefetch_identical_without_math() {
+        // Without train_math there is no barrier at all — workers run
+        // fully independently — and the counts must still match.
+        let mut cfg = base_cfg();
+        cfg.mode = prefetch_mode();
+        let seq = Engine::build(cfg.clone()).run();
+        cfg.parallel = true;
+        let par = Engine::build(cfg).run();
+        assert_reports_identical(&seq, &par);
     }
 
     #[test]

@@ -209,8 +209,14 @@ mod tests {
             layout: ScoreLayout::MemEfficient,
             ..Default::default()
         };
-        let (pd, _) =
-            initialize_prefetcher(&part, dense_cfg, n, &cluster, &CostModel::default(), &metrics);
+        let (pd, _) = initialize_prefetcher(
+            &part,
+            dense_cfg,
+            n,
+            &cluster,
+            &CostModel::default(),
+            &metrics,
+        );
         let (pm, _) =
             initialize_prefetcher(&part, me_cfg, n, &cluster, &CostModel::default(), &metrics);
         // Dense is 4·|V|; memory-efficient is 4·|V_p^h| — halo is a strict

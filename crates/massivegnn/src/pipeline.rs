@@ -13,7 +13,7 @@
 //! [`PrefetchPipeline::next`] — exactly the stall the overlap-efficiency
 //! metric measures.
 
-use crate::prefetcher::{PreparedBatch, Prefetcher};
+use crate::prefetcher::{Prefetcher, PreparedBatch};
 use mgnn_net::{CommMetrics, CostModel, SimCluster};
 use mgnn_partition::LocalPartition;
 use mgnn_sampling::{DataLoader, NeighborSampler};

@@ -39,7 +39,11 @@ impl PrepareTiming {
     /// Eq. 3: `t_prepare = t_sampling + t_lookup + t_scoring (+ eviction)
     /// + max(t_RPC, t_copy)`.
     pub fn t_prepare(&self) -> f64 {
-        self.t_sampling + self.t_lookup + self.t_scoring + self.t_evict + self.t_rpc.max(self.t_copy)
+        self.t_sampling
+            + self.t_lookup
+            + self.t_scoring
+            + self.t_evict
+            + self.t_rpc.max(self.t_copy)
     }
 }
 
@@ -161,14 +165,20 @@ impl Prefetcher {
         let (local_ids, halo_ids) = mb.split_local_halo(num_local);
 
         // Lines 4–5: hits and misses. Mark sampled halo indices with a
-        // stamp so the decay pass below is O(buffer) without a set.
+        // stamp so the decay pass below is O(buffer) without a set. The
+        // stamp doubles as an O(1) dedup: `increment_batch` requires
+        // unique ids (a duplicate would double-increment S_A) and
+        // `miss_row` assumes one row per missed node, so a halo node
+        // sampled twice in one minibatch must be processed once.
         self.current_stamp += 1;
         let stamp = self.current_stamp;
         let mut halo_idx: Vec<u32> = Vec::with_capacity(halo_ids.len());
         for &lid in &halo_ids {
             let h = lid - num_local as u32;
-            self.sampled_stamp[h as usize] = stamp;
-            halo_idx.push(h);
+            if self.sampled_stamp[h as usize] != stamp {
+                self.sampled_stamp[h as usize] = stamp;
+                halo_idx.push(h);
+            }
         }
         let (hits, misses) = self.buffer.probe_batch(&halo_idx);
         let t_lookup = cost.t_lookup(halo_ids.len() + self.buffer.len());
@@ -208,7 +218,10 @@ impl Prefetcher {
         let mut t_evict = 0.0;
         let mut evicted_count = 0usize;
         let mut replacements: Vec<(u32, u32)> = Vec::new(); // (slot, new halo idx)
-        if self.cfg.eviction && self.cfg.delta > 0 && step > 0 && step % self.cfg.delta as u64 == 0
+        if self.cfg.eviction
+            && self.cfg.delta > 0
+            && step > 0
+            && step.is_multiple_of(self.cfg.delta as u64)
         {
             // Hits were copied out of the buffer (line 11) before eviction;
             // protecting their slots keeps that copy semantics without
@@ -224,7 +237,7 @@ impl Prefetcher {
             let buffer = &self.buffer;
             let s_a = &self.s_a;
             let candidates = (0..part.num_halo() as u32).filter(|&h| !buffer.contains(h));
-            let replace_globals = s_a.top_k_candidates(
+            let (replace_globals, scoring_bytes) = s_a.top_k_candidates_with_footprint(
                 halo_nodes,
                 candidates.map(|h| halo_nodes[h as usize]),
                 evict_slots.len(),
@@ -244,7 +257,11 @@ impl Prefetcher {
             // Eviction-round overhead: scan every slot plus every halo
             // candidate (the "extra work" of §IV-E).
             t_evict = cost.t_lookup(self.buffer.capacity() + part.num_halo());
-            let transient = evict_slots.len() * 4 + replace_globals.len() * 8;
+            // The dominant transient of the round is the scored-candidate
+            // vector top_k_candidates materializes over every positive-S_A
+            // non-buffered halo node — not the slot/id vectors, which are
+            // bounded by the buffer capacity.
+            let transient = scoring_bytes + evict_slots.len() * 4 + replace_globals.len() * 8;
             self.peak_transient_bytes = self.peak_transient_bytes.max(transient);
             metrics.record_eviction(k as u64, k as u64);
         }
@@ -252,8 +269,7 @@ impl Prefetcher {
         // Lines 15 + 22: one bulk fetch of miss + replacement features.
         // A replacement that is also a miss this step reuses the miss row
         // (DistDGL's bulk pull deduplicates node ids the same way).
-        let mut fetch_ids: Vec<NodeId> =
-            misses.iter().map(|&h| halo_nodes[h as usize]).collect();
+        let mut fetch_ids: Vec<NodeId> = misses.iter().map(|&h| halo_nodes[h as usize]).collect();
         // Row in `fetched` for each replacement.
         let mut replacement_rows: Vec<usize> = Vec::with_capacity(replacements.len());
         for &(_, new_h) in &replacements {

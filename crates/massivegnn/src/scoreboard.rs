@@ -16,6 +16,27 @@
 use crate::config::ScoreLayout;
 use mgnn_graph::NodeId;
 
+/// Relative tolerance for the Eq. 1 eviction boundary `S_E ≤ α`.
+///
+/// A node idle for exactly Δ minibatches reaches `S_E = γ^Δ` by Δ
+/// sequential `*= γ` multiplies, while `α = γ^Δ` is computed by `powi`;
+/// the two round differently, so the score float-drifts a few ulps to
+/// either side of α. The tolerance absorbs that drift without admitting
+/// a node idle only Δ−1 minibatches (whose score is a factor 1/γ ≫ 1+ε
+/// above α).
+pub const EVICTION_BOUNDARY_RTOL: f64 = 1e-9;
+
+/// Eq. 1 eviction test: has `score` decayed to the threshold `alpha`?
+///
+/// Inclusive at the boundary (`S_E ≤ α`, within [`EVICTION_BOUNDARY_RTOL`]):
+/// a strict `<` would never fire for the paradigmatic eviction candidate —
+/// a node idle exactly Δ minibatches — leaving Algorithm 2's
+/// evict-and-replace dead whenever decay lands on or above the threshold.
+#[inline]
+pub fn meets_eviction_threshold(score: f64, alpha: f64) -> bool {
+    score <= alpha * (1.0 + EVICTION_BOUNDARY_RTOL)
+}
+
 /// Per-slot eviction scores, aligned with the prefetch buffer's slots.
 #[derive(Debug, Clone)]
 pub struct EvictionScores {
@@ -64,15 +85,19 @@ impl EvictionScores {
         self.scores.is_empty()
     }
 
-    /// Slots whose score has dropped strictly below `alpha`
-    /// (Algorithm 2 line 28), in ascending score order (evict the least
-    /// useful first). Slots listed in `protect` (sorted) are skipped —
-    /// nodes sampled in the current minibatch have already had their
-    /// features copied out per Algorithm 2 line 11, and evicting a node
-    /// the sampler is actively using would immediately re-fetch it.
+    /// Slots whose score has decayed to `alpha` or below (Algorithm 2
+    /// line 28, Eq. 1 `S_E ≤ α` — see [`meets_eviction_threshold`] for
+    /// why the boundary is inclusive), in ascending score order (evict
+    /// the least useful first). Slots listed in `protect` (sorted) are
+    /// skipped — nodes sampled in the current minibatch have already had
+    /// their features copied out per Algorithm 2 line 11, and evicting a
+    /// node the sampler is actively using would immediately re-fetch it.
     pub fn below_threshold(&self, alpha: f64, protect: &[u32]) -> Vec<u32> {
         let mut v: Vec<u32> = (0..self.scores.len() as u32)
-            .filter(|&s| self.scores[s as usize] < alpha && protect.binary_search(&s).is_err())
+            .filter(|&s| {
+                meets_eviction_threshold(self.scores[s as usize], alpha)
+                    && protect.binary_search(&s).is_err()
+            })
             .collect();
         v.sort_by(|&a, &b| {
             self.scores[a as usize]
@@ -152,9 +177,7 @@ impl AccessScores {
     pub fn set(&mut self, halo_nodes: &[NodeId], g: NodeId, v: f32) {
         let i = self.index(halo_nodes, g);
         match self {
-            AccessScores::Dense { scores } | AccessScores::MemEfficient { scores } => {
-                scores[i] = v
-            }
+            AccessScores::Dense { scores } | AccessScores::MemEfficient { scores } => scores[i] = v,
         }
     }
 
@@ -217,6 +240,22 @@ impl AccessScores {
         k: usize,
         degree_of: impl Fn(NodeId) -> u32,
     ) -> Vec<NodeId> {
+        self.top_k_candidates_with_footprint(halo_nodes, candidates, k, degree_of)
+            .0
+    }
+
+    /// [`Self::top_k_candidates`] plus the transient heap footprint of the
+    /// scoring pass in bytes: the `(f32, u32, NodeId)` scored vector is
+    /// materialized over every positive-score candidate *before* the
+    /// truncate to `k`, and Fig. 14's transient-memory accounting must
+    /// include it (it dwarfs the slot/id vectors on large halos).
+    pub fn top_k_candidates_with_footprint(
+        &self,
+        halo_nodes: &[NodeId],
+        candidates: impl Iterator<Item = NodeId>,
+        k: usize,
+        degree_of: impl Fn(NodeId) -> u32,
+    ) -> (Vec<NodeId>, usize) {
         let mut scored: Vec<(f32, u32, NodeId)> = candidates
             .filter_map(|g| {
                 let s = self.get(halo_nodes, g);
@@ -233,8 +272,9 @@ impl AccessScores {
                 .then(b.1.cmp(&a.1))
                 .then(a.2.cmp(&b.2))
         });
+        let footprint = scored.len() * std::mem::size_of::<(f32, u32, NodeId)>();
         scored.truncate(k);
-        scored.into_iter().map(|(_, _, g)| g).collect()
+        (scored.into_iter().map(|(_, _, g)| g).collect(), footprint)
     }
 
     /// Heap bytes — the Fig. 14 memory distinction between layouts:
@@ -272,6 +312,50 @@ mod tests {
         e.set(3, 0.3);
         assert_eq!(e.below_threshold(0.6, &[]), vec![1, 3, 0]);
         assert!(e.below_threshold(0.05, &[]).is_empty());
+    }
+
+    #[test]
+    fn idle_exactly_delta_is_evicted_hit_at_delta_minus_one_is_not() {
+        // Regression for the Eq. 1 boundary: repeated `*= γ` decay lands a
+        // node idle exactly Δ minibatches at (a few ulps around) α = γ^Δ,
+        // and a strict `S_E < α` compare never fired — Algorithm 2's
+        // evict-and-replace was dead for its paradigmatic candidate.
+        for (gamma, delta) in [(0.995f64, 8u32), (0.9, 16), (0.5, 4), (0.99, 100)] {
+            let alpha = gamma.powi(delta as i32);
+            let mut e = EvictionScores::new(2);
+            // Slot 0: idle for exactly Δ minibatches since prefetch.
+            for _ in 0..delta {
+                e.decay(0, gamma);
+            }
+            // Slot 1: sampled (reset) at minibatch Δ−1, then idle once.
+            for _ in 0..delta.saturating_sub(1) {
+                e.decay(1, gamma);
+            }
+            e.reset(1);
+            e.decay(1, gamma);
+            let evicted = e.below_threshold(alpha, &[]);
+            assert_eq!(
+                evicted,
+                vec![0],
+                "γ={gamma} Δ={delta}: slot 0 (idle Δ) must be evicted, \
+                 slot 1 (recently hit) must survive"
+            );
+        }
+    }
+
+    #[test]
+    fn boundary_tolerance_does_not_admit_delta_minus_one() {
+        // One fewer decay leaves the score a factor 1/γ above α — far
+        // outside the boundary tolerance even for γ very close to 1.
+        let (gamma, delta) = (0.9999f64, 1000u32);
+        let alpha = gamma.powi(delta as i32);
+        let mut e = EvictionScores::new(1);
+        for _ in 0..delta - 1 {
+            e.decay(0, gamma);
+        }
+        assert!(e.below_threshold(alpha, &[]).is_empty());
+        e.decay(0, gamma); // the Δ-th idle minibatch crosses the boundary
+        assert_eq!(e.below_threshold(alpha, &[]), vec![0]);
     }
 
     #[test]
@@ -325,7 +409,9 @@ mod tests {
     #[test]
     fn increment_batch_matches_singles() {
         let halo: Vec<u32> = (0..3000u32).map(|i| i * 2).collect();
-        let ids: Vec<u32> = (0..2500u32).map(|i| halo[(i as usize * 7) % halo.len()]).collect();
+        let ids: Vec<u32> = (0..2500u32)
+            .map(|i| halo[(i as usize * 7) % halo.len()])
+            .collect();
         // Deduplicate (prefetcher misses are unique per minibatch).
         let mut uniq = ids.clone();
         uniq.sort_unstable();

@@ -3,7 +3,10 @@
 //! figure reproduction is about *rows and shapes*, not nanoseconds; the
 //! criterion microbenches live in `benches/micro.rs`.
 
-use mgnn_bench::figures::{ablation, convergence, lookahead, partitioning, fig10, fig11, fig12, fig13, fig14, fig6, fig7, fig8, fig9, perfmodel};
+use mgnn_bench::figures::{
+    ablation, convergence, fig10, fig11, fig12, fig13, fig14, fig6, fig7, fig8, fig9, lookahead,
+    partitioning, perfmodel,
+};
 use mgnn_bench::tables::{table2, table3, table4};
 use mgnn_bench::Opts;
 

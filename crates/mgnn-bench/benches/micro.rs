@@ -42,7 +42,9 @@ fn bench_buffer_lookup(c: &mut Criterion) {
 
 fn bench_scoreboard(c: &mut Criterion) {
     let halo: Vec<u32> = (0..100_000u32).map(|i| i * 7).collect();
-    let nodes: Vec<u32> = (0..4096u32).map(|i| halo[(i as usize * 13) % halo.len()]).collect();
+    let nodes: Vec<u32> = (0..4096u32)
+        .map(|i| halo[(i as usize * 13) % halo.len()])
+        .collect();
     let mut g = c.benchmark_group("scoreboard_increment");
     g.throughput(Throughput::Elements(nodes.len() as u64));
     for layout in [ScoreLayout::Dense, ScoreLayout::MemEfficient] {
@@ -82,8 +84,16 @@ fn bench_sampler(c: &mut Criterion) {
 }
 
 fn bench_matmul(c: &mut Criterion) {
-    let a = Tensor::from_vec(512, 128, (0..512 * 128).map(|i| (i % 97) as f32 * 0.01).collect());
-    let b_t = Tensor::from_vec(128, 64, (0..128 * 64).map(|i| (i % 89) as f32 * 0.01).collect());
+    let a = Tensor::from_vec(
+        512,
+        128,
+        (0..512 * 128).map(|i| (i % 97) as f32 * 0.01).collect(),
+    );
+    let b_t = Tensor::from_vec(
+        128,
+        64,
+        (0..128 * 64).map(|i| (i % 89) as f32 * 0.01).collect(),
+    );
     let mut g = c.benchmark_group("tensor");
     g.throughput(Throughput::Elements((512 * 128 * 64) as u64));
     g.bench_function("matmul_512x128x64", |bch| {
@@ -153,9 +163,9 @@ fn bench_prepare(c: &mut Criterion) {
         let mut step = 0u64;
         b.iter(|| {
             step += 1;
-            std::hint::black_box(pf.prepare(
-                &part, &sampler, &seeds, 0, step, &cluster, &cost, &metrics,
-            ))
+            std::hint::black_box(
+                pf.prepare(&part, &sampler, &seeds, 0, step, &cluster, &cost, &metrics),
+            )
         })
     });
     g.finish();

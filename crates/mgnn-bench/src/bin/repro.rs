@@ -6,14 +6,32 @@
 //! cargo run --release -p mgnn-bench --bin repro -- --experiment table4 --full
 //! ```
 
-use mgnn_bench::figures::{ablation, convergence, lookahead, partitioning, fig10, fig11, fig12, fig13, fig14, fig6, fig7, fig8, fig9, perfmodel};
+use mgnn_bench::figures::{
+    ablation, convergence, fig10, fig11, fig12, fig13, fig14, fig6, fig7, fig8, fig9, lookahead,
+    partitioning, perfmodel,
+};
 use mgnn_bench::tables::{table2, table3, table4};
 use mgnn_bench::Opts;
 use mgnn_graph::Scale;
 
 const EXPERIMENTS: &[&str] = &[
-    "table2", "table3", "table4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
-    "fig13", "fig14", "perfmodel", "ablation", "lookahead", "partitioning", "convergence",
+    "table2",
+    "table3",
+    "table4",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "perfmodel",
+    "ablation",
+    "lookahead",
+    "partitioning",
+    "convergence",
 ];
 
 fn usage() -> ! {
@@ -46,21 +64,31 @@ fn main() {
             }
             "--epochs" => {
                 i += 1;
-                opts.epochs = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                opts.epochs = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
             }
             "--batch" => {
                 i += 1;
-                opts.batch_size =
-                    args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                opts.batch_size = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
             }
             "--hidden" => {
                 i += 1;
-                opts.hidden_dim =
-                    args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                opts.hidden_dim = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
             }
             "--seed" => {
                 i += 1;
-                opts.seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                opts.seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
             }
             "--full" => opts.full = true,
             "--help" | "-h" => usage(),

@@ -73,9 +73,13 @@ pub fn run(opts: &Opts) -> Ablation {
     order.truncate(capacity);
 
     let policies = [
+        // Δ matches the engine's default eviction interval (PrefetchConfig
+        // prefetch_mode uses Δ = 8): at quick scale a 32-step interval
+        // leaves no occupant idle a full window, silently disabling the
+        // policy under test.
         CachePolicy::ScoreBased {
             gamma: 0.995,
-            delta: 32,
+            delta: 8,
         },
         CachePolicy::Static,
         CachePolicy::Lru,
@@ -162,6 +166,13 @@ mod tests {
         assert!(
             score.maintenance_events < lru.maintenance_events,
             "periodic policy must do fewer rounds"
+        );
+        // Regression for the Eq. 1 boundary bug: with the strict `S_E < α`
+        // compare the score-based policy performed literally zero
+        // replacements — Algorithm 2's evict-and-replace was dead.
+        assert!(
+            score.replacements > 0,
+            "score-based policy must actually replace nodes"
         );
         assert!(format!("{ab}").contains("Ablation"));
     }

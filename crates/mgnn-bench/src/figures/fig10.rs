@@ -105,8 +105,7 @@ mod tests {
         let fig = run(&opts);
         for s in &fig.series {
             assert!(s.hit_series.len() >= 4, "{}: series too short", s.dataset);
-            let early: f64 =
-                s.hit_series[..2].iter().sum::<f64>() / 2.0;
+            let early: f64 = s.hit_series[..2].iter().sum::<f64>() / 2.0;
             let late_n = s.hit_series.len();
             let late: f64 = s.hit_series[late_n - 2..].iter().sum::<f64>() / 2.0;
             // Short debug-profile runs fluctuate a few points; the claim
@@ -116,8 +115,18 @@ mod tests {
                 "{}: hit rate should not collapse ({early:.3} -> {late:.3})",
                 s.dataset
             );
-            assert!(s.trend >= -1e-3, "{}: negative trend {}", s.dataset, s.trend);
-            assert!(s.final_hit_rate > 0.2, "{}: final {}", s.dataset, s.final_hit_rate);
+            assert!(
+                s.trend >= -1e-3,
+                "{}: negative trend {}",
+                s.dataset,
+                s.trend
+            );
+            assert!(
+                s.final_hit_rate > 0.2,
+                "{}: final {}",
+                s.dataset,
+                s.final_hit_rate
+            );
         }
         assert!(format!("{fig}").contains("Fig. 10"));
     }

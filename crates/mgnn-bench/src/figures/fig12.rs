@@ -57,7 +57,10 @@ pub fn run(opts: &Opts) -> Fig12 {
 
 impl fmt::Display for Fig12 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Fig. 12 — varying eviction interval Δ per decay γ (products, 4 CPU nodes)")?;
+        writeln!(
+            f,
+            "Fig. 12 — varying eviction interval Δ per decay γ (products, 4 CPU nodes)"
+        )?;
         writeln!(
             f,
             "{:>8} {:>6} {:>10} {:>8} {:>10}",
@@ -112,7 +115,10 @@ mod tests {
         let mut opts = Opts::quick();
         opts.epochs = 2;
         let fig = run(&opts);
-        assert_eq!(fig.points.len(), gamma_values().len() * delta_values(false).len());
+        assert_eq!(
+            fig.points.len(),
+            gamma_values().len() * delta_values(false).len()
+        );
         assert!(fig.points.iter().all(|p| p.time_s > 0.0));
     }
 }

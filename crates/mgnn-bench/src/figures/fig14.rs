@@ -56,8 +56,18 @@ pub fn run(opts: &Opts) -> Fig14 {
             .map(|t| t.init.persistent_bytes)
             .sum::<usize>()
             / n,
-        baseline_train_peak: baseline.trainers.iter().map(|t| t.peak_bytes).sum::<usize>() / n,
-        prefetch_train_peak: prefetch.trainers.iter().map(|t| t.peak_bytes).sum::<usize>() / n,
+        baseline_train_peak: baseline
+            .trainers
+            .iter()
+            .map(|t| t.peak_bytes)
+            .sum::<usize>()
+            / n,
+        prefetch_train_peak: prefetch
+            .trainers
+            .iter()
+            .map(|t| t.peak_bytes)
+            .sum::<usize>()
+            / n,
         evictions: prefetch.aggregate_metrics().evictions,
     }
 }

@@ -61,7 +61,10 @@ pub fn run(opts: &Opts) -> Fig8 {
 
 impl fmt::Display for Fig8 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Fig. 8 — prefetcher initialization cost (4 CPU nodes, per trainer)")?;
+        writeln!(
+            f,
+            "Fig. 8 — prefetcher initialization cost (4 CPU nodes, per trainer)"
+        )?;
         writeln!(
             f,
             "{:<10} {:>12} {:>10} {:>12} {:>13} {:>12}",
@@ -71,7 +74,12 @@ impl fmt::Display for Fig8 {
             writeln!(
                 f,
                 "{:<10} {:>12.6} {:>10.6} {:>12.6} {:>13.6} {:>12.2}",
-                r.dataset, r.selection_s, r.fetch_s, r.populate_s, r.scoreboard_s, r.pct_of_training
+                r.dataset,
+                r.selection_s,
+                r.fetch_s,
+                r.populate_s,
+                r.scoreboard_s,
+                r.pct_of_training
             )?;
         }
         Ok(())
@@ -101,7 +109,12 @@ mod tests {
                 s.pct_of_training,
                 l.pct_of_training
             );
-            assert!(l.pct_of_training < 15.0, "{}: {:.1}%", l.dataset, l.pct_of_training);
+            assert!(
+                l.pct_of_training < 15.0,
+                "{}: {:.1}%",
+                l.dataset,
+                l.pct_of_training
+            );
             assert!(s.fetch_s > 0.0);
             // RPC fetch dominates the other components (bulk features).
             assert!(s.fetch_s > s.populate_s);

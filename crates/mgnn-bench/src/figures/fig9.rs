@@ -152,7 +152,10 @@ mod tests {
                 cpu.overlap_efficiency,
                 gpu.overlap_efficiency
             );
-            assert!(cpu.train_s > gpu.train_s, "{kind}: CPU training must be slower");
+            assert!(
+                cpu.train_s > gpu.train_s,
+                "{kind}: CPU training must be slower"
+            );
         }
         assert!(format!("{fig}").contains("Fig. 9"));
     }

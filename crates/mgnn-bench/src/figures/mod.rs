@@ -9,9 +9,9 @@ pub mod fig12;
 pub mod fig13;
 pub mod fig14;
 pub mod fig6;
-pub mod lookahead;
-pub mod partitioning;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod lookahead;
+pub mod partitioning;
 pub mod perfmodel;

@@ -76,8 +76,12 @@ pub fn run(opts: &Opts) -> PartitionStudy {
         // a custom build (the engine's multilevel call is deterministic,
         // so for non-multilevel partitioners we run a manual comparison
         // through the same prefetcher/baseline preparation paths).
-        let (baseline_remote, improvement, hit) =
-            manual_comparison(&dataset, &parts, opts, engine_config(opts, DatasetKind::Products, Backend::Cpu, num_parts));
+        let (baseline_remote, improvement, hit) = manual_comparison(
+            &dataset,
+            &parts,
+            opts,
+            engine_config(opts, DatasetKind::Products, Backend::Cpu, num_parts),
+        );
         rows.push(Row {
             partitioner: name,
             edge_cut: cut,

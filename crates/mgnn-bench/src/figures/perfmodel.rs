@@ -50,18 +50,26 @@ pub fn run(opts: &Opts) -> PerfModel {
         let prefetch = Engine::build(pcfg).run();
 
         let n = baseline.trainers.len() as f64;
-        let rpc: f64 = baseline.trainers.iter().map(|t| t.breakdown.rpc_s).sum::<f64>() / n;
-        let ddp: f64 = baseline.trainers.iter().map(|t| t.breakdown.train_s).sum::<f64>() / n;
+        let rpc: f64 = baseline
+            .trainers
+            .iter()
+            .map(|t| t.breakdown.rpc_s)
+            .sum::<f64>()
+            / n;
+        let ddp: f64 = baseline
+            .trainers
+            .iter()
+            .map(|t| t.breakdown.train_s)
+            .sum::<f64>()
+            / n;
         points.push(Point {
             backend: backend.name(),
             rpc_over_ddp: rpc / ddp,
-            predicted_factor: perfmodel::improvement_factor_simplified(
-                &perfmodel::Components {
-                    t_rpc: rpc,
-                    t_ddp: ddp,
-                    ..Default::default()
-                },
-            ),
+            predicted_factor: perfmodel::improvement_factor_simplified(&perfmodel::Components {
+                t_rpc: rpc,
+                t_ddp: ddp,
+                ..Default::default()
+            }),
             measured_factor: baseline.makespan_s / prefetch.makespan_s,
             overlap_efficiency: prefetch.mean_overlap_efficiency(),
         });
@@ -71,7 +79,10 @@ pub fn run(opts: &Opts) -> PerfModel {
 
 impl fmt::Display for PerfModel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Eq. 6 — analytical improvement factor vs simulation (products, 2 nodes)")?;
+        writeln!(
+            f,
+            "Eq. 6 — analytical improvement factor vs simulation (products, 2 nodes)"
+        )?;
         writeln!(
             f,
             "{:<4} {:>12} {:>16} {:>15} {:>10}",
@@ -106,7 +117,11 @@ mod tests {
         // Perfect overlap: measured should approach the prediction but the
         // prediction is an upper bound (hit rate < 100%, Eq. 6's
         // assumptions are optimistic).
-        assert!(cpu.measured_factor > 1.0, "measured {}", cpu.measured_factor);
+        assert!(
+            cpu.measured_factor > 1.0,
+            "measured {}",
+            cpu.measured_factor
+        );
         assert!(
             cpu.predicted_factor >= cpu.measured_factor * 0.8,
             "prediction {} should not undercut measurement {} badly",

@@ -31,8 +31,16 @@ pub struct Table3 {
 /// Compute the table for trainer counts {8, 16, 32} (4/node ⇒ 2/4/8
 /// compute nodes; extend with `--full`).
 pub fn run(opts: &Opts) -> Table3 {
-    let node_counts: &[usize] = if opts.full { &[2, 4, 8, 16] } else { &[2, 4, 8] };
-    let datasets = [DatasetKind::Arxiv, DatasetKind::Products, DatasetKind::Papers];
+    let node_counts: &[usize] = if opts.full {
+        &[2, 4, 8, 16]
+    } else {
+        &[2, 4, 8]
+    };
+    let datasets = [
+        DatasetKind::Arxiv,
+        DatasetKind::Products,
+        DatasetKind::Papers,
+    ];
     let mut rows = Vec::new();
     for kind in datasets {
         let mut cells = Vec::new();
@@ -76,11 +84,7 @@ impl fmt::Display for Table3 {
             write!(f, "{t:<10}")?;
             for (_, cells) in &self.rows {
                 let c = &cells[i];
-                write!(
-                    f,
-                    " {:>10.1}/{:<5}",
-                    c.avg_remote, c.minibatches
-                )?;
+                write!(f, " {:>10.1}/{:<5}", c.avg_remote, c.minibatches)?;
             }
             writeln!(f)?;
         }

@@ -77,8 +77,7 @@ impl GraphBuilder {
             .retain(|&(u, v)| u < nid && v < nid && !(drop_loops && u == v));
 
         if self.symmetrize {
-            let rev: Vec<(NodeId, NodeId)> =
-                self.edges.par_iter().map(|&(u, v)| (v, u)).collect();
+            let rev: Vec<(NodeId, NodeId)> = self.edges.par_iter().map(|&(u, v)| (v, u)).collect();
             self.edges.extend(rev);
         }
 

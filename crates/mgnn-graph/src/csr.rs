@@ -180,7 +180,10 @@ impl CsrGraph {
     ///
     /// Edges to nodes outside the set are dropped.
     pub fn induced_subgraph(&self, nodes: &[NodeId]) -> (CsrGraph, Vec<NodeId>) {
-        debug_assert!(nodes.windows(2).all(|w| w[0] < w[1]), "nodes must be sorted");
+        debug_assert!(
+            nodes.windows(2).all(|w| w[0] < w[1]),
+            "nodes must be sorted"
+        );
         // global -> local position via binary search on the sorted node list.
         let mut offsets = Vec::with_capacity(nodes.len() + 1);
         let mut targets = Vec::new();

@@ -110,7 +110,7 @@ pub enum Scale {
 
 impl Scale {
     fn nodes_for(&self, kind: DatasetKind) -> usize {
-        let target = match self {
+        match self {
             Scale::Unit => match kind {
                 DatasetKind::Arxiv => 2_000,
                 DatasetKind::Products => 3_000,
@@ -130,8 +130,7 @@ impl Scale {
                 DatasetKind::Papers => 120_000,
             },
             Scale::Custom(div) => ((kind.paper_nodes() / div.max(&1)) as usize).max(1_000),
-        };
-        target
+        }
     }
 }
 
@@ -176,7 +175,12 @@ impl Dataset {
                 // Dense flat core: ER dominates, with an RMAT overlay for a
                 // modest heavy tail (reddit does have hubs).
                 let core = erdos_renyi(n, (m as f64 * 0.7) as usize, seed);
-                let tail = rmat(n, (m as f64 * 0.3) as usize, RmatParams::default(), seed ^ 0x5eed);
+                let tail = rmat(
+                    n,
+                    (m as f64 * 0.3) as usize,
+                    RmatParams::default(),
+                    seed ^ 0x5eed,
+                );
                 merge(core, tail)
             }
             DatasetKind::Papers => rmat(
@@ -191,7 +195,12 @@ impl Dataset {
                 seed,
             ),
         };
-        let features = FeatureStore::synthesize(&graph, kind.feature_dim(), kind.num_classes(), seed ^ 0xfeed);
+        let features = FeatureStore::synthesize(
+            &graph,
+            kind.feature_dim(),
+            kind.num_classes(),
+            seed ^ 0xfeed,
+        );
 
         // Deterministic 60/20/20 split by hashed node id (OGB splits are
         // fixed per dataset; a hash split is the seedable equivalent).

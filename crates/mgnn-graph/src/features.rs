@@ -25,7 +25,13 @@ pub struct FeatureStore {
 
 impl FeatureStore {
     /// Build from raw parts. Panics if shapes disagree.
-    pub fn from_parts(num_nodes: usize, dim: usize, data: Vec<f32>, labels: Vec<u32>, num_classes: usize) -> Self {
+    pub fn from_parts(
+        num_nodes: usize,
+        dim: usize,
+        data: Vec<f32>,
+        labels: Vec<u32>,
+        num_classes: usize,
+    ) -> Self {
         assert_eq!(data.len(), num_nodes * dim, "feature matrix shape mismatch");
         assert_eq!(labels.len(), num_nodes, "label vector shape mismatch");
         assert!(labels.iter().all(|&l| (l as usize) < num_classes));
@@ -213,7 +219,7 @@ mod tests {
         assert!(f.labels().iter().all(|&l| l < 5));
         // All classes should appear on 200 nodes with 5 classes.
         for c in 0..5u32 {
-            assert!(f.labels().iter().any(|&l| l == c), "class {c} missing");
+            assert!(f.labels().contains(&c), "class {c} missing");
         }
     }
 

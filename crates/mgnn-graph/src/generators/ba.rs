@@ -22,13 +22,18 @@ pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> CsrGraph {
     assert!(n > m, "ba: n must exceed m");
     let mut rng = StdRng::seed_from_u64(seed);
 
-    // Start from a star on m+1 nodes so every seed node has degree >= 1.
+    // Start from a complete graph on m+1 nodes so every seed node
+    // already has degree m — a star would strand its leaves at degree 1
+    // whenever later attachments never pick them, violating the BA
+    // min-degree invariant.
     let mut endpoints: Vec<NodeId> = Vec::with_capacity(2 * n * m);
     let mut builder = GraphBuilder::new(n).with_capacity(n * m);
-    for i in 1..=m {
-        builder.add_edge(0, i as NodeId);
-        endpoints.push(0);
-        endpoints.push(i as NodeId);
+    for i in 0..=m {
+        for j in (i + 1)..=m {
+            builder.add_edge(i as NodeId, j as NodeId);
+            endpoints.push(i as NodeId);
+            endpoints.push(j as NodeId);
+        }
     }
 
     let mut picked: Vec<NodeId> = Vec::with_capacity(m);
@@ -77,16 +82,21 @@ mod tests {
         let n = 400;
         let m = 3;
         let g = barabasi_albert(n, m, 1);
-        // star m edges + (n - m - 1) * m attachments, symmetrized (×2),
-        // dedup can only remove if a duplicate pair arose — distinct picks
-        // prevent that within a node, and new node can't re-pick old pairs.
-        assert_eq!(g.num_edges(), 2 * (m + (n - m - 1) * m));
+        // complete seed graph K_{m+1} edges + (n - m - 1) * m attachments,
+        // symmetrized (×2); dedup can only remove if a duplicate pair arose —
+        // distinct picks prevent that within a node, and a new node can't
+        // re-pick old pairs.
+        assert_eq!(g.num_edges(), 2 * (m * (m + 1) / 2 + (n - m - 1) * m));
     }
 
     #[test]
     fn power_law_hub_exists() {
         let g = barabasi_albert(2000, 2, 9);
-        assert!(g.max_degree() > 20, "BA should grow hubs, got {}", g.max_degree());
+        assert!(
+            g.max_degree() > 20,
+            "BA should grow hubs, got {}",
+            g.max_degree()
+        );
     }
 
     #[test]

@@ -20,8 +20,9 @@ pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> CsrGraph {
     let edge_chunks: Vec<Vec<(NodeId, NodeId)>> = (0..num_chunks)
         .into_par_iter()
         .map(|ci| {
-            let mut rng =
-                StdRng::seed_from_u64(seed ^ (0xd1b5_4a32_d192_ed03u64.wrapping_mul(ci as u64 + 1)));
+            let mut rng = StdRng::seed_from_u64(
+                seed ^ (0xd1b5_4a32_d192_ed03u64.wrapping_mul(ci as u64 + 1)),
+            );
             let count = chunk.min(m - ci * chunk);
             let mut out = Vec::with_capacity(count);
             while out.len() < count {

@@ -57,7 +57,9 @@ pub fn rmat(n: usize, m: usize, params: RmatParams, seed: u64) -> CsrGraph {
     let edge_chunks: Vec<Vec<(NodeId, NodeId)>> = (0..num_chunks)
         .into_par_iter()
         .map(|ci| {
-            let mut rng = StdRng::seed_from_u64(seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(ci as u64 + 1)));
+            let mut rng = StdRng::seed_from_u64(
+                seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(ci as u64 + 1)),
+            );
             let count = chunk.min(m - ci * chunk);
             let mut out = Vec::with_capacity(count);
             while out.len() < count {

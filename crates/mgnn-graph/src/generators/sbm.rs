@@ -27,7 +27,10 @@ pub struct SbmParams {
 /// Generate an undirected SBM graph with `n` nodes.
 pub fn sbm(n: usize, params: SbmParams, seed: u64) -> CsrGraph {
     let k = params.communities;
-    assert!(k >= 1 && n >= k, "sbm: need at least one node per community");
+    assert!(
+        k >= 1 && n >= k,
+        "sbm: need at least one node per community"
+    );
     assert!((0.0..=1.0).contains(&params.p_in) && (0.0..=1.0).contains(&params.p_out));
     let mut rng = StdRng::seed_from_u64(seed);
     let bounds: Vec<usize> = (0..=k).map(|c| c * n / k).collect();
@@ -66,7 +69,7 @@ pub fn sbm_community(u: NodeId, n: usize, communities: usize) -> usize {
     // community c owns [c*n/k, (c+1)*n/k); solve for c.
     let mut c = u * communities / n;
     // Guard against integer-division boundary drift.
-    while c + 1 <= communities && (c + 1) * n / communities <= u {
+    while c < communities && (c + 1) * n / communities <= u {
         c += 1;
     }
     while c > 0 && c * n / communities > u {

@@ -1,7 +1,7 @@
-//! Graph and feature I/O: a compact binary snapshot format (magic + version
-//! + little-endian arrays) and a whitespace edge-list text format for
-//! interop. Round-trip fidelity is covered by tests; the binary reader
-//! validates the header and lengths before trusting the payload.
+//! Graph and feature I/O: a compact binary snapshot format (magic, version,
+//! little-endian arrays) and a whitespace edge-list text format for interop.
+//! Round-trip fidelity is covered by tests; the binary reader validates the
+//! header and lengths before trusting the payload.
 
 use crate::csr::{CsrGraph, NodeId};
 use std::io::{self, Read, Write};
@@ -33,7 +33,10 @@ pub fn read_csr<R: Read>(r: &mut R) -> io::Result<CsrGraph> {
     let m = read_u64(r)? as usize;
     // Sanity cap: refuse absurd sizes before allocating.
     if n > (1 << 33) || m > (1 << 38) {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "size out of range"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "size out of range",
+        ));
     }
     let mut offsets = Vec::with_capacity(n + 1);
     for _ in 0..=n {
@@ -121,13 +124,19 @@ pub fn read_features<R: Read>(r: &mut R) -> io::Result<crate::FeatureStore> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != FEAT_MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad feature magic"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bad feature magic",
+        ));
     }
     let n = read_u64(r)? as usize;
     let dim = read_u64(r)? as usize;
     let classes = read_u64(r)? as usize;
     if n > (1 << 33) || dim > (1 << 20) || classes == 0 || classes > (1 << 24) {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "size out of range"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "size out of range",
+        ));
     }
     let mut data = Vec::with_capacity(n * dim);
     let mut b4 = [0u8; 4];
@@ -140,11 +149,16 @@ pub fn read_features<R: Read>(r: &mut R) -> io::Result<crate::FeatureStore> {
         r.read_exact(&mut b4)?;
         let l = u32::from_le_bytes(b4);
         if (l as usize) >= classes {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "label out of range"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "label out of range",
+            ));
         }
         labels.push(l);
     }
-    Ok(crate::FeatureStore::from_parts(n, dim, data, labels, classes))
+    Ok(crate::FeatureStore::from_parts(
+        n, dim, data, labels, classes,
+    ))
 }
 
 const DSET_MAGIC: &[u8; 8] = b"MGNNDST1";
@@ -170,7 +184,10 @@ pub fn read_dataset<R: Read>(r: &mut R) -> io::Result<crate::Dataset> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != DSET_MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad dataset magic"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bad dataset magic",
+        ));
     }
     let mut tag = [0u8; 1];
     r.read_exact(&mut tag)?;
@@ -188,7 +205,10 @@ pub fn read_dataset<R: Read>(r: &mut R) -> io::Result<crate::Dataset> {
     for _ in 0..3 {
         let len = read_u64(r)? as usize;
         if len > graph.num_nodes() {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "split too large"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "split too large",
+            ));
         }
         let mut v = Vec::with_capacity(len);
         let mut b4 = [0u8; 4];

@@ -66,7 +66,11 @@ pub fn log_degree_histogram(g: &CsrGraph) -> Vec<usize> {
     let mut hist = Vec::new();
     for u in 0..g.num_nodes() {
         let d = g.degree(u as NodeId);
-        let b = if d <= 1 { 0 } else { (usize::BITS - d.leading_zeros() - 1) as usize };
+        let b = if d <= 1 {
+            0
+        } else {
+            (usize::BITS - d.leading_zeros() - 1) as usize
+        };
         if hist.len() <= b {
             hist.resize(b + 1, 0);
         }

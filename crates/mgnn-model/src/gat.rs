@@ -110,8 +110,8 @@ impl GatLayer {
             let al = &self.a_l[h * d..(h + 1) * d];
             let ar = &self.a_r[h * d..(h + 1) * d];
             let zcol = h * d;
-            for i in 0..block.num_dst {
-                let start = att_offsets[i] as usize;
+            for (i, &att_start) in att_offsets.iter().take(block.num_dst).enumerate() {
+                let start = att_start as usize;
                 let zi = &z.row(i)[zcol..zcol + d];
                 let li: f32 = zi.iter().zip(al).map(|(a, b)| a * b).sum();
                 // Attention set: self then neighbors.
@@ -140,11 +140,7 @@ impl GatLayer {
                 }
                 // Weighted sum of z_j.
                 let ocol = if self.concat { h * d } else { 0 };
-                let scale = if self.concat {
-                    1.0
-                } else {
-                    1.0 / heads as f32
-                };
+                let scale = if self.concat { 1.0 } else { 1.0 / heads as f32 };
                 for (k, &j) in std::iter::once(&(i as u32)).chain(nbrs.iter()).enumerate() {
                     let a = alpha[h][start + k] * scale;
                     let zj = &z.row(j as usize)[zcol..zcol + d];
@@ -179,11 +175,7 @@ impl GatLayer {
             let ar = &self.a_r[h * d..(h + 1) * d];
             let zcol = h * d;
             let ocol = if self.concat { h * d } else { 0 };
-            let scale = if self.concat {
-                1.0
-            } else {
-                1.0 / heads as f32
-            };
+            let scale = if self.concat { 1.0 } else { 1.0 / heads as f32 };
             for i in 0..block.num_dst {
                 let start = cache.att_offsets[i] as usize;
                 let nbrs = block.neighbors_of(i);
@@ -278,7 +270,13 @@ impl GatModel {
         for (i, &out) in dims[1..].iter().enumerate() {
             let last = i == n - 1;
             // Hidden layers emit heads*out (concat); the head_dim is `out`.
-            let layer = GatLayer::new(in_dim, out, heads, !last, seed.wrapping_add(i as u64 * 104729));
+            let layer = GatLayer::new(
+                in_dim,
+                out,
+                heads,
+                !last,
+                seed.wrapping_add(i as u64 * 104729),
+            );
             in_dim = layer.out_dim();
             layers.push(layer);
         }

@@ -238,7 +238,7 @@ impl Model for GatModel {
             let out_d = layer.w.out_dim() as f64;
             let rows = block.num_src() as f64;
             total += rows * in_d * out_d; // projection
-            // Attention: per edge (incl. self) per head, dot products.
+                                          // Attention: per edge (incl. self) per head, dot products.
             let edges = (block.num_edges() + block.num_dst) as f64;
             total += edges * layer.heads as f64 * layer.head_dim as f64 * 3.0;
         }
@@ -401,7 +401,11 @@ mod tests {
                 .flat_map(|&l| feats.row(part.global_id(l)).to_vec())
                 .collect(),
         );
-        let labels: Vec<u32> = mb.seeds.iter().map(|&l| feats.label(part.global_id(l))).collect();
+        let labels: Vec<u32> = mb
+            .seeds
+            .iter()
+            .map(|&l| feats.label(part.global_id(l)))
+            .collect();
         (mb.blocks, input, labels)
     }
 
@@ -431,7 +435,10 @@ mod tests {
             }
             model.read_params(&params);
         }
-        assert!(last < first * 0.9, "loss did not decrease: {first} -> {last}");
+        assert!(
+            last < first * 0.9,
+            "loss did not decrease: {first} -> {last}"
+        );
     }
 
     #[test]
@@ -471,7 +478,10 @@ mod tests {
         let np = Model::num_params(&model);
         let mut first = f32::NAN;
         let mut last = f32::NAN;
-        for it in 0..30 {
+        // GCN's mean-aggregation landscape is flatter than SAGE/GAT's on
+        // this fixture; give SGD enough steps that the 5% bar tests the
+        // optimizer, not the initialization draw.
+        for it in 0..100 {
             model.zero_grad();
             let logits = Model::forward(&mut model, &blocks, &input);
             let (loss, grad) = cross_entropy(&logits, &labels);
@@ -489,7 +499,10 @@ mod tests {
             }
             model.read_params(&params);
         }
-        assert!(last < first * 0.95, "GCN loss did not decrease: {first} -> {last}");
+        assert!(
+            last < first * 0.95,
+            "GCN loss did not decrease: {first} -> {last}"
+        );
     }
 
     #[test]

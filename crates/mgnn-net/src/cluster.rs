@@ -163,7 +163,7 @@ mod tests {
         let c = SimCluster::new(&f, &a, 4);
         let ids = vec![7u32, 3, 42, 7, 11];
         let (out, rpcs) = c.pull_grouped(&ids);
-        assert!(rpcs <= 4 && rpcs >= 1);
+        assert!((1..=4).contains(&rpcs));
         for (i, &g) in ids.iter().enumerate() {
             assert_eq!(&out[i * 8..(i + 1) * 8], f.row(g), "row {g}");
         }

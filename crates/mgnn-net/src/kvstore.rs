@@ -31,7 +31,10 @@ impl KvStore {
     ) -> Self {
         assert_eq!(features.len(), owned.len() * dim);
         assert_eq!(labels.len(), owned.len());
-        debug_assert!(owned.windows(2).all(|w| w[0] < w[1]), "owned must be sorted");
+        debug_assert!(
+            owned.windows(2).all(|w| w[0] < w[1]),
+            "owned must be sorted"
+        );
         KvStore {
             part_id,
             owned,

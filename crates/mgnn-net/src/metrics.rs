@@ -39,7 +39,8 @@ impl CommMetrics {
             return;
         }
         self.rpc_calls.fetch_add(1, Ordering::Relaxed);
-        self.remote_nodes_fetched.fetch_add(nodes, Ordering::Relaxed);
+        self.remote_nodes_fetched
+            .fetch_add(nodes, Ordering::Relaxed);
         self.remote_bytes
             .fetch_add(nodes * dim as u64 * 4, Ordering::Relaxed);
     }

@@ -216,15 +216,13 @@ mod tests {
         let server = RpcServer::spawn(kv());
         let client = server.client();
         drop(server); // must not hang
-        // Client sends now fail; that's expected after shutdown.
+                      // Client sends now fail; that's expected after shutdown.
         let (rtx, _rrx) = bounded(1);
-        assert!(client
-            .tx
-            .send(Request::Pull {
-                ids: vec![],
-                reply: rtx
-            })
-            .is_err()
-            || true); // channel may still accept but server is gone
+        // The send may fail (disconnected) or be silently dropped; either
+        // way it must return rather than hang on a dead server.
+        let _ = client.tx.send(Request::Pull {
+            ids: vec![],
+            reply: rtx,
+        });
     }
 }

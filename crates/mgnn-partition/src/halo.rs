@@ -126,7 +126,13 @@ pub fn build_local_partitions(
     (0..p)
         .into_par_iter()
         .map(|pid| {
-            build_one(g, parts, pid as u32, &local[pid], train_by_part[pid].clone())
+            build_one(
+                g,
+                parts,
+                pid as u32,
+                &local[pid],
+                train_by_part[pid].clone(),
+            )
         })
         .collect()
 }

@@ -79,10 +79,8 @@ pub fn coarsen_once(g: &WGraph, seed: u64) -> (WGraph, Vec<u32>) {
         }
         let mut best: Option<(NodeId, u64)> = None;
         for (&v, &w) in g.neighbors(u).iter().zip(g.edge_weights(u)) {
-            if v != u && matched[v as usize] == u32::MAX {
-                if best.map_or(true, |(_, bw)| w > bw) {
-                    best = Some((v, w));
-                }
+            if v != u && matched[v as usize] == u32::MAX && best.is_none_or(|(_, bw)| w > bw) {
+                best = Some((v, w));
             }
         }
         match best {

@@ -55,10 +55,10 @@ pub fn greedy_growth(g: &WGraph, num_parts: usize, seed: u64) -> Vec<u32> {
     }
 
     // Leftovers: assign to currently lightest part.
-    for u in 0..n {
-        if assignment[u] == u32::MAX {
+    for (u, a) in assignment.iter_mut().enumerate() {
+        if *a == u32::MAX {
             let p = (0..num_parts).min_by_key(|&p| part_weight[p]).unwrap();
-            assignment[u] = p as u32;
+            *a = p as u32;
             part_weight[p] += g.node_weight(u as NodeId);
         }
     }
@@ -83,7 +83,7 @@ mod tests {
         let g = erdos_renyi(400, 2400, 3);
         let wg = WGraph::from_csr(&g);
         let a = greedy_growth(&wg, 4, 1);
-        let mut w = vec![0u64; 4];
+        let mut w = [0u64; 4];
         for (u, &p) in a.iter().enumerate() {
             w[p as usize] += wg.node_weight(u as u32);
         }

@@ -52,7 +52,7 @@ pub fn refine(g: &WGraph, assignment: &mut [u32], num_parts: usize, eps: f64, ma
                 let fits = part_weight[p as usize] + g.node_weight(u) <= cap;
                 // Also never empty a partition below one node-weight unit.
                 let keeps_source = part_weight[from as usize] > g.node_weight(u);
-                if gain > 0 && fits && keeps_source && best.map_or(true, |(bg, _)| gain > bg) {
+                if gain > 0 && fits && keeps_source && best.is_none_or(|(bg, _)| gain > bg) {
                     best = Some((gain, p));
                 }
             }

@@ -49,10 +49,7 @@ impl DataLoader {
         order.shuffle(&mut StdRng::seed_from_u64(
             self.base_seed ^ epoch.wrapping_mul(0x2545_f491_4f6c_dd1d),
         ));
-        order
-            .chunks(self.batch_size)
-            .map(|c| c.to_vec())
-            .collect()
+        order.chunks(self.batch_size).map(|c| c.to_vec()).collect()
     }
 
     /// Convenience: the `step`-th minibatch of `epoch`.

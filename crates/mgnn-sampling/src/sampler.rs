@@ -53,11 +53,7 @@ impl NeighborSampler {
     }
 
     /// Create a sampler with an explicit [`SamplingStrategy`].
-    pub fn with_strategy(
-        fanouts: Vec<usize>,
-        strategy: SamplingStrategy,
-        base_seed: u64,
-    ) -> Self {
+    pub fn with_strategy(fanouts: Vec<usize>, strategy: SamplingStrategy, base_seed: u64) -> Self {
         assert!(!fanouts.is_empty(), "need at least one layer");
         assert!(fanouts.iter().all(|&f| f > 0), "fanouts must be positive");
         NeighborSampler {
@@ -82,7 +78,9 @@ impl NeighborSampler {
         step: u64,
     ) -> SampledMinibatch {
         let mut rng = StdRng::seed_from_u64(
-            self.base_seed ^ epoch.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ step.wrapping_mul(0xc2b2_ae3d_27d4_eb4f),
+            self.base_seed
+                ^ epoch.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                ^ step.wrapping_mul(0xc2b2_ae3d_27d4_eb4f),
         );
         let mut dst: Vec<u32> = seeds.to_vec();
         dst.sort_unstable();

@@ -49,13 +49,18 @@ impl SparseMatrix {
     /// `A[i, j] = 1/deg(i)` for each sampled neighbor position `j` of dst
     /// `i` (rows with no neighbors are all-zero) — exactly GraphSAGE's
     /// neighbor-mean operator.
-    pub fn mean_aggregator(num_dst: usize, num_src: usize, offsets: &[u32], indices: &[u32]) -> Self {
+    pub fn mean_aggregator(
+        num_dst: usize,
+        num_src: usize,
+        offsets: &[u32],
+        indices: &[u32],
+    ) -> Self {
         assert_eq!(offsets.len(), num_dst + 1);
         let mut values = Vec::with_capacity(indices.len());
         for i in 0..num_dst {
             let deg = (offsets[i + 1] - offsets[i]) as usize;
             let w = if deg == 0 { 0.0 } else { 1.0 / deg as f32 };
-            values.extend(std::iter::repeat(w).take(deg));
+            values.extend(std::iter::repeat_n(w, deg));
         }
         SparseMatrix::from_parts(num_dst, num_src, offsets.to_vec(), indices.to_vec(), values)
     }

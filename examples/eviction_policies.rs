@@ -67,8 +67,10 @@ fn main() {
         CachePolicy::Random { seed: 3 },
     ];
 
-    for (label, init) in [("top-degree init (paper)", &good_init), ("adversarial init", &bad_init)]
-    {
+    for (label, init) in [
+        ("top-degree init (paper)", &good_init),
+        ("adversarial init", &bad_init),
+    ] {
         println!("\n== {label} (capacity {capacity}) ==");
         println!(
             "{:<12} {:>8} {:>14} {:>13}",

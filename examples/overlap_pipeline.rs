@@ -131,7 +131,9 @@ fn main() {
     let mut gs = 0u64;
     for epoch in 0..epochs as u64 {
         for seeds in loader.epoch(epoch).iter().take(steps) {
-            let batch = pf2.prepare(&part, &sampler, seeds, epoch, gs, &cluster, &cost, &metrics2);
+            let batch = pf2.prepare(
+                &part, &sampler, seeds, epoch, gs, &cluster, &cost, &metrics2,
+            );
             gs += 1;
             forward_backward(
                 &mut model2,

@@ -61,7 +61,7 @@ fn main() {
                     }
                 );
                 let label = format!("f_h={f_h} γ={gamma} Δ={delta}");
-                if best.as_ref().map_or(true, |(t, _)| r.makespan_s < *t) {
+                if best.as_ref().is_none_or(|(t, _)| r.makespan_s < *t) {
                     best = Some((r.makespan_s, label));
                 }
             }

@@ -1,0 +1,254 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors the exact parallel-iterator surface it uses, implemented
+//! **sequentially**. This is a deliberate choice beyond the offline
+//! constraint: the engine parallelizes across trainer threads (see
+//! `massivegnn::engine`), and nested data-parallelism inside each
+//! trainer would oversubscribe cores; keeping the inner loops
+//! sequential also makes every fold/reduce bitwise deterministic,
+//! which the engine's reproducibility guarantee relies on.
+//!
+//! The wrappers preserve rayon's shapes (`fold` yields per-split
+//! accumulators that `reduce` combines; `partition_map` splits by
+//! [`iter::Either`]) so call sites stay source-compatible with real
+//! rayon if it is ever swapped back in.
+
+pub mod iter {
+    //! Parallel-iterator adapters over a plain [`Iterator`].
+
+    /// Two-way branch used by [`Par::partition_map`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Either<L, R> {
+        /// Goes to the first output collection.
+        Left(L),
+        /// Goes to the second output collection.
+        Right(R),
+    }
+
+    /// "Parallel" iterator: a zero-cost wrapper over a sequential iterator.
+    pub struct Par<I>(pub(crate) I);
+
+    impl<I: Iterator> Par<I> {
+        /// Map each item.
+        pub fn map<O, F: FnMut(I::Item) -> O>(self, f: F) -> Par<std::iter::Map<I, F>> {
+            Par(self.0.map(f))
+        }
+
+        /// Flat-map through a serial iterator, as rayon's `flat_map_iter`.
+        pub fn flat_map_iter<O, F>(self, f: F) -> Par<std::iter::FlatMap<I, O, F>>
+        where
+            O: IntoIterator,
+            F: FnMut(I::Item) -> O,
+        {
+            Par(self.0.flat_map(f))
+        }
+
+        /// Pair each item with its index.
+        pub fn enumerate(self) -> Par<std::iter::Enumerate<I>> {
+            Par(self.0.enumerate())
+        }
+
+        /// Consume with a side-effecting closure.
+        pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+            self.0.for_each(f)
+        }
+
+        /// Fold into per-split accumulators (a single split here).
+        pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> Par<std::iter::Once<T>>
+        where
+            ID: Fn() -> T,
+            F: FnMut(T, I::Item) -> T,
+        {
+            Par(std::iter::once(self.0.fold(identity(), fold_op)))
+        }
+
+        /// Reduce all items (or the identity when empty).
+        pub fn reduce<ID, F>(self, identity: ID, op: F) -> I::Item
+        where
+            ID: Fn() -> I::Item,
+            F: FnMut(I::Item, I::Item) -> I::Item,
+        {
+            let mut op = op;
+            self.0.reduce(&mut op).unwrap_or_else(identity)
+        }
+
+        /// Collect into any `FromIterator` collection.
+        pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+            self.0.collect()
+        }
+
+        /// Sum the items.
+        pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+            self.0.sum()
+        }
+
+        /// Split items into two collections according to `f`.
+        pub fn partition_map<A, B, CA, CB, F>(self, mut f: F) -> (CA, CB)
+        where
+            CA: Default + Extend<A>,
+            CB: Default + Extend<B>,
+            F: FnMut(I::Item) -> Either<A, B>,
+        {
+            let mut left = CA::default();
+            let mut right = CB::default();
+            for item in self.0 {
+                match f(item) {
+                    Either::Left(a) => left.extend(std::iter::once(a)),
+                    Either::Right(b) => right.extend(std::iter::once(b)),
+                }
+            }
+            (left, right)
+        }
+    }
+
+    /// Conversion into a "parallel" iterator (by value).
+    pub trait IntoParallelIterator {
+        /// Item type.
+        type Item;
+        /// Underlying sequential iterator.
+        type Iter: Iterator<Item = Self::Item>;
+
+        /// Enter the parallel-iterator API.
+        fn into_par_iter(self) -> Par<Self::Iter>;
+    }
+
+    impl<T, I: IntoIterator<Item = T>> IntoParallelIterator for I {
+        type Item = T;
+        type Iter = I::IntoIter;
+
+        fn into_par_iter(self) -> Par<<I as IntoIterator>::IntoIter> {
+            Par(self.into_iter())
+        }
+    }
+
+    /// Conversion into a borrowing "parallel" iterator (`par_iter`).
+    pub trait IntoParallelRefIterator<'a> {
+        /// Borrowed item type.
+        type Item: 'a;
+        /// Underlying sequential iterator.
+        type Iter: Iterator<Item = Self::Item>;
+
+        /// Enter the parallel-iterator API by reference.
+        fn par_iter(&'a self) -> Par<Self::Iter>;
+    }
+
+    impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for [T] {
+        type Item = &'a T;
+        type Iter = std::slice::Iter<'a, T>;
+
+        fn par_iter(&'a self) -> Par<std::slice::Iter<'a, T>> {
+            Par(self.iter())
+        }
+    }
+
+    impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = &'a T;
+        type Iter = std::slice::Iter<'a, T>;
+
+        fn par_iter(&'a self) -> Par<std::slice::Iter<'a, T>> {
+            Par(self.as_slice().iter())
+        }
+    }
+}
+
+pub mod slice {
+    //! Slice extension traits (`par_chunks_mut`, `par_sort_unstable`).
+
+    use super::iter::Par;
+
+    /// Mutable-slice extensions mirroring `rayon::slice::ParallelSliceMut`.
+    pub trait ParallelSliceMut<T> {
+        /// Mutable chunks of `size` elements.
+        fn par_chunks_mut(&mut self, size: usize) -> Par<std::slice::ChunksMut<'_, T>>;
+
+        /// Unstable in-place sort.
+        fn par_sort_unstable(&mut self)
+        where
+            T: Ord;
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, size: usize) -> Par<std::slice::ChunksMut<'_, T>> {
+            Par(self.chunks_mut(size))
+        }
+
+        fn par_sort_unstable(&mut self)
+        where
+            T: Ord,
+        {
+            self.sort_unstable()
+        }
+    }
+}
+
+/// Common imports, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use super::iter::{IntoParallelIterator, IntoParallelRefIterator};
+    pub use super::slice::ParallelSliceMut;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::iter::{Either, IntoParallelIterator, IntoParallelRefIterator};
+    use super::slice::ParallelSliceMut;
+
+    #[test]
+    fn map_collect_matches_serial() {
+        let v: Vec<u32> = (0u32..10).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, (0..10).map(|x| x * 2).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn fold_reduce_shape() {
+        let total: Vec<f32> = (0usize..4)
+            .into_par_iter()
+            .fold(
+                || vec![0.0f32; 3],
+                |mut acc, k| {
+                    for a in &mut acc {
+                        *a += k as f32;
+                    }
+                    acc
+                },
+            )
+            .reduce(
+                || vec![0.0f32; 3],
+                |mut a, b| {
+                    for (x, y) in a.iter_mut().zip(&b) {
+                        *x += y;
+                    }
+                    a
+                },
+            );
+        assert_eq!(total, vec![6.0, 6.0, 6.0]);
+    }
+
+    #[test]
+    fn partition_map_splits() {
+        let v = vec![1u32, 2, 3, 4, 5];
+        let (even, odd): (Vec<u32>, Vec<u32>) = v.par_iter().partition_map(|&x| {
+            if x % 2 == 0 {
+                Either::Left(x)
+            } else {
+                Either::Right(x)
+            }
+        });
+        assert_eq!(even, vec![2, 4]);
+        assert_eq!(odd, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn chunks_and_sort() {
+        let mut v = vec![5u32, 3, 1, 4, 2];
+        v.par_sort_unstable();
+        assert_eq!(v, vec![1, 2, 3, 4, 5]);
+        let mut w = vec![0u32; 6];
+        w.par_chunks_mut(2).enumerate().for_each(|(i, c)| {
+            for x in c {
+                *x = i as u32;
+            }
+        });
+        assert_eq!(w, vec![0, 0, 1, 1, 2, 2]);
+    }
+}

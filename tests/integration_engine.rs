@@ -80,10 +80,7 @@ fn improvement_shape_cpu_vs_gpu() {
     // The paper's headline shape: prefetch wins on both backends, with
     // baseline GPU faster than baseline CPU in absolute terms.
     let base = cfg(DatasetKind::Products);
-    let mut configs = [
-        (Backend::Cpu, 0.0f64, 0.0f64),
-        (Backend::Gpu, 0.0, 0.0),
-    ];
+    let mut configs = [(Backend::Cpu, 0.0f64, 0.0f64), (Backend::Gpu, 0.0, 0.0)];
     for (backend, base_t, pref_t) in configs.iter_mut() {
         let mut b = base.clone();
         b.backend = *backend;
@@ -96,7 +93,10 @@ fn improvement_shape_cpu_vs_gpu() {
     let (_, gpu_base, gpu_pref) = configs[1];
     assert!(gpu_base < cpu_base, "GPU baseline must be faster");
     assert!(cpu_pref < cpu_base, "CPU prefetch must improve");
-    assert!(gpu_pref <= gpu_base * 1.05, "GPU prefetch should not regress badly");
+    assert!(
+        gpu_pref <= gpu_base * 1.05,
+        "GPU prefetch should not regress badly"
+    );
 }
 
 #[test]
@@ -191,7 +191,11 @@ fn prefetch_is_sampler_agnostic() {
             pref.makespan_s,
             baseline.makespan_s
         );
-        assert!(pref.hit_rate() > 0.1, "{strategy:?}: hit {}", pref.hit_rate());
+        assert!(
+            pref.hit_rate() > 0.1,
+            "{strategy:?}: hit {}",
+            pref.hit_rate()
+        );
 
         // Oracle under this sampler as well.
         let mut bm = base.clone();

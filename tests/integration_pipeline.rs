@@ -65,7 +65,16 @@ fn prefetched_features_match_ground_truth_across_modes() {
             &metrics,
         );
         for step in 0..6u64 {
-            let batch = pf.prepare(part, &sampler, &seeds, 0, step, &fx.cluster, &cost, &metrics);
+            let batch = pf.prepare(
+                part,
+                &sampler,
+                &seeds,
+                0,
+                step,
+                &fx.cluster,
+                &cost,
+                &metrics,
+            );
             // Every assembled input row must equal the global feature
             // store's row for that node.
             for (i, &lid) in batch.minibatch.input_nodes.iter().enumerate() {
@@ -109,7 +118,10 @@ fn baseline_and_prefetch_assemble_identical_batches() {
     for step in 0..4u64 {
         let a = pf.prepare(part, &sampler, &seeds, 0, step, &fx.cluster, &cost, &m1);
         let b = baseline_prepare(part, &sampler, &seeds, 0, step, &fx.cluster, &cost, &m2);
-        assert_eq!(a.minibatch, b.minibatch, "sampling must be mode-independent");
+        assert_eq!(
+            a.minibatch, b.minibatch,
+            "sampling must be mode-independent"
+        );
         assert_eq!(a.input.data(), b.input.data(), "features must be identical");
         assert_eq!(a.labels, b.labels);
     }
@@ -200,7 +212,16 @@ fn buffered_features_stay_fresh_after_replacements() {
         &metrics,
     );
     for step in 0..12u64 {
-        pf.prepare(part, &sampler, &seeds, 0, step, &fx.cluster, &cost, &metrics);
+        pf.prepare(
+            part,
+            &sampler,
+            &seeds,
+            0,
+            step,
+            &fx.cluster,
+            &cost,
+            &metrics,
+        );
     }
     for (slot, h) in pf.buffer.occupied() {
         let gid = part.halo_nodes[h as usize];

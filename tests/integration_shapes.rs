@@ -56,7 +56,12 @@ fn fig6_improvement_band_is_plausible() {
     let fig = fig6_once();
     for g in &fig.groups {
         let i = g.best_improvement_pct();
-        assert!(i < 95.0, "{} {}: improbable improvement {i:.1}%", g.dataset, g.backend);
+        assert!(
+            i < 95.0,
+            "{} {}: improbable improvement {i:.1}%",
+            g.dataset,
+            g.backend
+        );
     }
 }
 
@@ -97,8 +102,18 @@ fn fig11_shape_remote_and_comm_reduced() {
     o.epochs = 3;
     let fig = fig11::run(&o);
     for r in &fig.rows {
-        assert!(r.remote_reduction_pct() > 5.0, "{}: only {:.1}% remote reduction", r.dataset, r.remote_reduction_pct());
-        assert!(r.comm_reduction_pct() > 5.0, "{}: only {:.1}% comm reduction", r.dataset, r.comm_reduction_pct());
+        assert!(
+            r.remote_reduction_pct() > 5.0,
+            "{}: only {:.1}% remote reduction",
+            r.dataset,
+            r.remote_reduction_pct()
+        );
+        assert!(
+            r.comm_reduction_pct() > 5.0,
+            "{}: only {:.1}% comm reduction",
+            r.dataset,
+            r.comm_reduction_pct()
+        );
     }
 }
 
@@ -114,13 +129,6 @@ fn table3_shape_minibatches_fall_remote_varies() {
     }
     // papers-like has far more remote nodes than arxiv-like, as in the
     // paper's Table III (14.9M vs 34.6K at 8 trainers).
-    let remote_of = |n: &str| {
-        t.rows
-            .iter()
-            .find(|(name, _)| *name == n)
-            .unwrap()
-            .1[0]
-            .avg_remote
-    };
+    let remote_of = |n: &str| t.rows.iter().find(|(name, _)| *name == n).unwrap().1[0].avg_remote;
     assert!(remote_of("papers") > remote_of("arxiv"));
 }

@@ -106,6 +106,69 @@ proptest! {
     }
 
     #[test]
+    fn stamped_dedup_yields_single_increment_per_sampled_node(
+        raw in prop::collection::vec(0u32..64, 1..300),
+    ) {
+        // Regression for the duplicate-miss bug: a halo node sampled
+        // through several seeds in one minibatch must bump S_A once, not
+        // once per occurrence. Mirrors Prefetcher::prepare's stamp-based
+        // dedup and checks it against a set-based reference on both
+        // layouts.
+        let halo: Vec<u32> = (0..64u32).map(|h| 1000 + h * 3).collect();
+        let mut stamp = vec![u64::MAX; 64];
+        let mut deduped: Vec<u32> = Vec::new();
+        for &h in &raw {
+            if stamp[h as usize] != 0 {
+                stamp[h as usize] = 0;
+                deduped.push(h);
+            }
+        }
+        // First-occurrence order, no duplicates, nothing dropped.
+        let mut seen = std::collections::BTreeSet::new();
+        for &h in &deduped {
+            prop_assert!(seen.insert(h));
+        }
+        for &h in &raw {
+            prop_assert!(seen.contains(&h));
+        }
+        let globals: Vec<u32> = deduped.iter().map(|&h| halo[h as usize]).collect();
+        for layout in [ScoreLayout::Dense, ScoreLayout::MemEfficient] {
+            let mut batch = AccessScores::new(layout, 2000, halo.len());
+            batch.increment_batch(&halo, &globals);
+            let mut reference = AccessScores::new(layout, 2000, halo.len());
+            for &h in &seen {
+                reference.increment(&halo, halo[h as usize]);
+            }
+            for &g in &halo {
+                prop_assert_eq!(batch.get(&halo, g), reference.get(&halo, g));
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_footprint_counts_every_positive_candidate(
+        scores in prop::collection::vec(0u32..4, 8..128),
+        k in 0usize..16,
+    ) {
+        // The eviction round's transient accounting relies on the
+        // footprint being 12 bytes per positive-S_A candidate *before*
+        // the truncate to k — independent of k.
+        let halo: Vec<u32> = (0..scores.len() as u32).collect();
+        let mut s_a = AccessScores::new(ScoreLayout::MemEfficient, scores.len(), scores.len());
+        let mut positive = 0usize;
+        for (i, &v) in scores.iter().enumerate() {
+            s_a.set(&halo, i as u32, v as f32);
+            if v > 0 {
+                positive += 1;
+            }
+        }
+        let (top, bytes) =
+            s_a.top_k_candidates_with_footprint(&halo, halo.iter().copied(), k, |_| 0);
+        prop_assert_eq!(bytes, positive * 12);
+        prop_assert_eq!(top.len(), k.min(positive));
+    }
+
+    #[test]
     fn eviction_scores_monotone_under_decay(
         gamma in 0.01f64..1.0,
         decays in 1usize..100,

@@ -17,16 +17,17 @@ fn build_partition(n: usize, edges: Vec<(u32, u32)>, parts: usize, seed: u64) ->
     build_local_partitions(&g, &p, &train).remove(0)
 }
 
-fn arb_instance() -> impl Strategy<
-    Value = (
-        usize,
-        Vec<(u32, u32)>,
-        Vec<usize>,
-        Vec<u32>,
-        u64,
-        SamplingStrategy,
-    ),
-> {
+/// `(n, edges, fanouts, seeds, seed, strategy)` for one sampler run.
+type SamplerInstance = (
+    usize,
+    Vec<(u32, u32)>,
+    Vec<usize>,
+    Vec<u32>,
+    u64,
+    SamplingStrategy,
+);
+
+fn arb_instance() -> impl Strategy<Value = SamplerInstance> {
     (20usize..150).prop_flat_map(|n| {
         let edges = prop::collection::vec((0..n as u32, 0..n as u32), n..n * 6);
         let fanouts = prop::collection::vec(1usize..8, 1..3);
