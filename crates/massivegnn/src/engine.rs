@@ -29,10 +29,12 @@ use mgnn_model::{
 use mgnn_net::clock::PipelineClock;
 use mgnn_net::metrics::MetricsSnapshot;
 use mgnn_net::{Backend, CommMetrics, CostModel, SimClock, SimCluster};
+use mgnn_obs::{Lane, Phase, SpanRecorder, StepAnchor, StepPoint, TrainerTrace};
 use mgnn_partition::{
     build_local_partitions, multilevel_partition, split_train_nodes, LocalPartition,
 };
 use mgnn_sampling::{DataLoader, NeighborSampler, SamplingStrategy};
+use serde::Serialize;
 use std::sync::{Arc, Barrier, Mutex};
 
 /// Baseline DistDGL vs the paper's prefetch scheme.
@@ -100,6 +102,11 @@ pub struct EngineConfig {
     /// barrier (wall-clock parallelism; results are bitwise-identical to
     /// the sequential engine) instead of round-robin on one thread.
     pub parallel: bool,
+    /// Record per-phase spans, latency histograms, and per-step telemetry
+    /// into [`RunReport::traces`]. Off by default; when off, no recorder
+    /// exists anywhere and the report is bitwise-identical to an untraced
+    /// run.
+    pub trace: bool,
 }
 
 impl Default for EngineConfig {
@@ -122,6 +129,7 @@ impl Default for EngineConfig {
             cost: CostModel::default(),
             train_math: false,
             parallel: false,
+            trace: false,
         }
     }
 }
@@ -170,6 +178,23 @@ impl Breakdown {
     /// `t_communication = t_RPC − t_copy` (clamped at 0).
     pub fn communication_stall_s(&self) -> f64 {
         (self.rpc_s - self.copy_s).max(0.0)
+    }
+
+    /// The field corresponding to a tracing [`Phase`] (`None` for
+    /// [`Phase::Allreduce`], which is a sub-span of `train_s`). Lets the
+    /// trace-consistency checks compare span sums against this breakdown
+    /// without hand-listing fields.
+    pub fn phase_s(&self, phase: Phase) -> Option<f64> {
+        match phase {
+            Phase::Sampling => Some(self.sampling_s),
+            Phase::Lookup => Some(self.lookup_s),
+            Phase::Scoring => Some(self.scoring_s),
+            Phase::Evict => Some(self.evict_s),
+            Phase::Rpc => Some(self.rpc_s),
+            Phase::Copy => Some(self.copy_s),
+            Phase::Train => Some(self.train_s),
+            Phase::Allreduce => None,
+        }
     }
 }
 
@@ -226,6 +251,9 @@ pub struct RunReport {
     /// Final model parameters of trainer 0 (empty unless `train_math`) —
     /// lets tests assert baseline ≡ prefetch.
     pub final_params: Vec<f32>,
+    /// Per-trainer observability traces (empty unless
+    /// [`EngineConfig::trace`]).
+    pub traces: Vec<TrainerTrace>,
 }
 
 impl RunReport {
@@ -285,6 +313,8 @@ struct TrainerState {
     sampler: NeighborSampler,
     prefetcher: Option<Prefetcher>,
     metrics: Arc<CommMetrics>,
+    /// Same recorder the metrics carry; `None` when tracing is off.
+    recorder: Option<Arc<SpanRecorder>>,
     clock: SimClock,
     pipeline: Option<PipelineClock>,
     hits: HitRateTracker,
@@ -337,6 +367,7 @@ impl TrainerState {
         batch: &PreparedBatch,
         shape_model: &dyn Model,
         ctx: &StepCtx,
+        global_step: u64,
     ) -> Option<StepStats> {
         let step_bytes = batch.input.data().len() * 4;
         self.peak_step_bytes = self.peak_step_bytes.max(step_bytes);
@@ -369,21 +400,69 @@ impl TrainerState {
 
         // Advance the clock: baseline is serial (Eq. 2); prefetch feeds
         // the bounded-queue pipeline clock (Eqs. 4–5 generalized to
-        // lookahead ≥ 1).
+        // lookahead ≥ 1). With tracing on, the clocks also yield this
+        // step's timeline anchors (where the prepare window and the train
+        // window landed in simulated time) and its telemetry sample.
         match ctx.cfg.mode {
             Mode::Baseline => {
-                let t =
-                    batch.timing.t_sampling + batch.timing.t_rpc.max(batch.timing.t_copy) + t_train;
-                self.clock.advance(t);
+                let t_fetch = batch.timing.t_rpc.max(batch.timing.t_copy);
+                if let Some(rec) = &self.recorder {
+                    let prep_start = self.clock.now();
+                    rec.record_anchor(StepAnchor {
+                        step: global_step,
+                        prep_start_s: prep_start,
+                        train_start_s: prep_start + batch.timing.t_sampling + t_fetch,
+                    });
+                    self.record_train_spans(rec, global_step, t_train, ctx);
+                    rec.record_step(StepPoint {
+                        step: global_step,
+                        // §V-B5 per-step communication stall.
+                        stall_s: (batch.timing.t_rpc - batch.timing.t_copy).max(0.0),
+                        hits: batch.counts.hits as u64,
+                        misses: batch.counts.misses as u64,
+                        overlap_efficiency: 0.0, // Eq. 2: nothing overlaps
+                    });
+                }
+                self.clock
+                    .advance(batch.timing.t_sampling + t_fetch + t_train);
             }
             Mode::Prefetch(_) => {
-                self.pipeline
+                let times = self
+                    .pipeline
                     .as_mut()
                     .unwrap()
-                    .step(batch.timing.t_prepare(), t_train);
+                    .step_timed(batch.timing.t_prepare(), t_train);
+                if let Some(rec) = &self.recorder {
+                    rec.record_anchor(StepAnchor {
+                        step: global_step,
+                        prep_start_s: times.prep_start,
+                        train_start_s: times.train_start,
+                    });
+                    self.record_train_spans(rec, global_step, t_train, ctx);
+                    let waited = times.stall_s + times.slack_s;
+                    rec.record_step(StepPoint {
+                        step: global_step,
+                        stall_s: times.stall_s,
+                        hits: batch.counts.hits as u64,
+                        misses: batch.counts.misses as u64,
+                        overlap_efficiency: if waited == 0.0 {
+                            1.0
+                        } else {
+                            times.slack_s / waited
+                        },
+                    });
+                }
             }
         }
         stats
+    }
+
+    /// Record this step's `train` span (train-lane relative, so it starts
+    /// at 0) with the ring-allreduce tail nested at its end.
+    fn record_train_spans(&self, rec: &SpanRecorder, step: u64, t_train: f64, ctx: &StepCtx) {
+        rec.record(Lane::Train, step, Phase::Train, 0.0, t_train);
+        let t_ar = ctx.cost.t_allreduce(ctx.param_bytes, ctx.world);
+        rec.record(Lane::Train, step, Phase::Allreduce, t_train - t_ar, t_ar);
     }
 
     /// DDP update with pre-averaged gradients: one optimizer step applied
@@ -500,7 +579,13 @@ impl Engine {
             .enumerate()
             .map(|(t, (pid, seeds))| {
                 let part = Arc::clone(&self.parts[*pid]);
-                let metrics = Arc::new(CommMetrics::new());
+                let recorder = cfg
+                    .trace
+                    .then(|| Arc::new(SpanRecorder::for_trainer(t as u32, *pid as u32)));
+                let metrics = Arc::new(match &recorder {
+                    Some(r) => CommMetrics::with_recorder(Arc::clone(r)),
+                    None => CommMetrics::new(),
+                });
                 let mut init = InitReport::default();
                 let prefetcher = match cfg.mode {
                     Mode::Baseline => None,
@@ -538,6 +623,7 @@ impl Engine {
                     ),
                     prefetcher,
                     metrics,
+                    recorder,
                     clock: SimClock::new(),
                     hits: HitRateTracker::new(),
                     breakdown: Breakdown::default(),
@@ -639,7 +725,9 @@ impl Engine {
                         }
                         Mode::Prefetch(_) => ts.pending.take().expect("queue empty"),
                     };
-                    if let Some(stats) = ts.train_on(&batch, shape_model.as_ref(), &ctx) {
+                    if let Some(stats) =
+                        ts.train_on(&batch, shape_model.as_ref(), &ctx, global_step)
+                    {
                         loss_sum += stats.loss as f64;
                         acc_sum += stats.accuracy;
                         stat_count += 1;
@@ -775,7 +863,8 @@ impl Engine {
                                     ts.account_prepared(&b, true);
                                     b
                                 };
-                                if let Some(stats) = ts.train_on(&batch, shape_model.as_ref(), ctx)
+                                if let Some(stats) =
+                                    ts.train_on(&batch, shape_model.as_ref(), ctx, global_step)
                                 {
                                     stats_log.push(stats);
                                 }
@@ -854,6 +943,10 @@ impl Engine {
         epoch_acc: Vec<f64>,
     ) -> RunReport {
         let cfg = &self.cfg;
+        let traces: Vec<TrainerTrace> = trainers
+            .iter()
+            .filter_map(|ts| ts.recorder.as_ref().map(|r| r.snapshot()))
+            .collect();
         let final_params = if cfg.train_math && !trainers.is_empty() {
             let m = trainers[0].model.as_ref().unwrap();
             let mut p = vec![0.0f32; m.num_params()];
@@ -905,7 +998,7 @@ impl Engine {
 
         let makespan = reports.iter().map(|r| r.sim_time_s).fold(0.0f64, f64::max);
 
-        RunReport {
+        let report = RunReport {
             mode_label: cfg.mode.label(),
             trainers: reports,
             makespan_s: makespan,
@@ -914,7 +1007,19 @@ impl Engine {
             epoch_loss,
             epoch_acc,
             final_params,
+            traces,
+        };
+        // Hand a copy to the global capture sink, if one is installed
+        // (the repro binary's trace/JSON export path). One atomic load
+        // when no sink exists.
+        if mgnn_obs::sink::enabled() {
+            mgnn_obs::sink::push(mgnn_obs::RunCapture {
+                label: report.mode_label.clone(),
+                report: report.to_value(),
+                traces: report.traces.clone(),
+            });
         }
+        report
     }
 
     /// Evaluate model parameters (as returned in
@@ -1335,6 +1440,174 @@ mod tests {
         cfg.parallel = true;
         let par = Engine::build(cfg).run();
         assert_reports_identical(&seq, &par);
+    }
+
+    #[test]
+    fn breakdown_total_serial_sums_all_components() {
+        let b = Breakdown {
+            sampling_s: 1.0,
+            lookup_s: 2.0,
+            scoring_s: 4.0,
+            evict_s: 8.0,
+            rpc_s: 16.0,
+            copy_s: 32.0,
+            train_s: 64.0,
+        };
+        assert_eq!(b.total_serial(), 127.0);
+        assert_eq!(Breakdown::default().total_serial(), 0.0);
+    }
+
+    #[test]
+    fn communication_stall_clamps_at_zero() {
+        let mut b = Breakdown {
+            rpc_s: 5.0,
+            copy_s: 2.0,
+            ..Default::default()
+        };
+        assert_eq!(b.communication_stall_s(), 3.0);
+        // Copy dominating RPC must clamp to zero, not go negative.
+        b.rpc_s = 1.0;
+        b.copy_s = 4.0;
+        assert_eq!(b.communication_stall_s(), 0.0);
+        assert_eq!(Breakdown::default().communication_stall_s(), 0.0);
+    }
+
+    #[test]
+    fn tracing_does_not_change_the_report() {
+        // The disabled-by-default contract, and its converse: turning
+        // tracing ON must also leave every report field untouched (the
+        // recorder only observes).
+        for parallel in [false, true] {
+            for mode in [Mode::Baseline, prefetch_mode()] {
+                let mut cfg = base_cfg();
+                cfg.mode = mode;
+                cfg.parallel = parallel;
+                let plain = Engine::build(cfg.clone()).run();
+                cfg.trace = true;
+                let traced = Engine::build(cfg).run();
+                assert_reports_identical(&plain, &traced);
+                assert!(plain.traces.is_empty(), "no traces without the flag");
+                assert_eq!(traced.traces.len(), plain.world);
+            }
+        }
+    }
+
+    /// Shared trace-consistency assertions: every phase present with
+    /// histogram counts equal to the step count, and span sums matching
+    /// the breakdown fields.
+    fn assert_trace_matches_breakdown(report: &RunReport) {
+        let total_steps = (report.steps_per_epoch * 2) as u64; // epochs = 2 in base_cfg
+        assert_eq!(report.traces.len(), report.trainers.len());
+        for (trainer, trace) in report.trainers.iter().zip(&report.traces) {
+            assert_eq!(trace.part_id, trainer.part_id);
+            assert_eq!(trace.dropped, 0, "unit-scale runs must not drop events");
+            for phase in Phase::ALL {
+                let stats = trace
+                    .phase(phase)
+                    .unwrap_or_else(|| panic!("no {} spans recorded", phase.name()));
+                assert_eq!(
+                    stats.count,
+                    total_steps,
+                    "{} histogram count != steps",
+                    phase.name()
+                );
+                if let Some(expect) = trainer.breakdown.phase_s(phase) {
+                    assert!(
+                        (stats.sum_s - expect).abs() < 1e-6,
+                        "{} span sum {} != breakdown {}",
+                        phase.name(),
+                        stats.sum_s,
+                        expect
+                    );
+                }
+                assert!(stats.min_s <= stats.p50_s && stats.p50_s <= stats.p95_s);
+                assert!(stats.p95_s <= stats.p99_s && stats.p99_s <= stats.max_s);
+            }
+            assert_eq!(trace.anchors.len() as u64, total_steps);
+            assert_eq!(trace.series.len() as u64, total_steps);
+            // Prefetch mode: per-step pipeline stalls sum to the trainer's
+            // reported stall. (Baseline's series carries the §V-B5
+            // communication stall instead — checked separately.)
+            if report.mode_label != "DistDGL" {
+                let stall: f64 = trace.series.iter().map(|p| p.stall_s).sum();
+                assert!(
+                    (stall - trainer.stall_s).abs() < 1e-9,
+                    "series stall {stall} vs report {}",
+                    trainer.stall_s
+                );
+            }
+            // Prefetch mode: per-step hits/misses sum to the exact
+            // CommMetrics counters. (Baseline has no buffer, so its
+            // series misses count sampled halo nodes while the buffer
+            // counters stay zero.)
+            if report.mode_label != "DistDGL" {
+                let hits: u64 = trace.series.iter().map(|p| p.hits).sum();
+                let misses: u64 = trace.series.iter().map(|p| p.misses).sum();
+                assert_eq!(hits, trainer.metrics.buffer_hits);
+                assert_eq!(misses, trainer.metrics.buffer_misses);
+            } else {
+                assert!(trace.series.iter().all(|p| p.hits == 0));
+            }
+        }
+    }
+
+    #[test]
+    fn traced_prefetch_spans_match_breakdown() {
+        let mut cfg = base_cfg();
+        cfg.mode = prefetch_mode();
+        cfg.trace = true;
+        let report = Engine::build(cfg.clone()).run();
+        assert_trace_matches_breakdown(&report);
+        // The threaded engine records the same sums from its real worker
+        // and prepare threads.
+        cfg.parallel = true;
+        let par = Engine::build(cfg).run();
+        assert_trace_matches_breakdown(&par);
+    }
+
+    #[test]
+    fn traced_baseline_spans_match_breakdown() {
+        let mut cfg = base_cfg();
+        cfg.trace = true;
+        let report = Engine::build(cfg).run();
+        assert_trace_matches_breakdown(&report);
+        // Baseline telemetry: zero overlap, per-step stall = §V-B5
+        // communication stall.
+        for (trainer, trace) in report.trainers.iter().zip(&report.traces) {
+            assert!(trace.series.iter().all(|p| p.overlap_efficiency == 0.0));
+            let stall: f64 = trace.series.iter().map(|p| p.stall_s).sum();
+            assert!(
+                (stall - trainer.breakdown.communication_stall_s()).abs() < 1e-9,
+                "per-step stalls should sum to the aggregate §V-B5 stall"
+            );
+        }
+    }
+
+    #[test]
+    fn traced_spans_resolve_onto_the_simulated_timeline() {
+        let mut cfg = base_cfg();
+        cfg.mode = prefetch_mode();
+        cfg.trace = true;
+        let report = Engine::build(cfg).run();
+        for (trainer, trace) in report.trainers.iter().zip(&report.traces) {
+            // Every event must resolve (each prepared batch was consumed),
+            // land within [0, sim_time], and train spans must start at
+            // their step's train anchor.
+            for ev in &trace.events {
+                let start = trace
+                    .absolute_start_s(ev)
+                    .expect("every recorded step has an anchor");
+                assert!(start >= 0.0);
+                assert!(
+                    start + ev.dur_s <= trainer.sim_time_s + 1e-9,
+                    "span beyond end of run"
+                );
+            }
+            // Anchors are monotone in training order.
+            for w in trace.anchors.windows(2) {
+                assert!(w[1].train_start_s >= w[0].train_start_s);
+            }
+        }
     }
 
     #[test]

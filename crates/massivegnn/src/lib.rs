@@ -66,6 +66,7 @@ pub mod perfmodel;
 pub mod pipeline;
 pub mod prefetcher;
 pub mod scoreboard;
+pub mod serialize;
 pub mod tradeoff;
 
 pub use buffer::PrefetchBuffer;

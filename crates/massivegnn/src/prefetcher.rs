@@ -14,6 +14,7 @@ use crate::config::{PrefetchConfig, ScoreLayout};
 use crate::scoreboard::{AccessScores, EvictionScores};
 use mgnn_graph::NodeId;
 use mgnn_net::{CommMetrics, CostModel, SimCluster};
+use mgnn_obs::Phase;
 use mgnn_partition::LocalPartition;
 use mgnn_sampling::{NeighborSampler, SampledMinibatch};
 use mgnn_tensor::Tensor;
@@ -282,7 +283,21 @@ impl Prefetcher {
         }
         let (fetched, _rpc_rounds) = cluster.pull_grouped(&fetch_ids);
         let t_rpc = cost.t_rpc(fetch_ids.len(), dim);
-        metrics.record_rpc(fetch_ids.len() as u64, dim);
+        // Spans of this preparation, at their Eq. 3 offsets within the
+        // prepare window: the serial prefix runs sampling → lookup →
+        // scoring → evict, then RPC and copy overlap at its end. No-ops
+        // when tracing is off (the metrics carry no recorder).
+        metrics.span(step, Phase::Sampling, 0.0, t_sampling);
+        metrics.span(step, Phase::Lookup, t_sampling, t_lookup);
+        metrics.span(step, Phase::Scoring, t_sampling + t_lookup, t_scoring);
+        metrics.span(
+            step,
+            Phase::Evict,
+            t_sampling + t_lookup + t_scoring,
+            t_evict,
+        );
+        let serial = t_sampling + t_lookup + t_scoring + t_evict;
+        metrics.record_rpc_spanned(fetch_ids.len() as u64, dim, step, serial, t_rpc);
         metrics.record_lookup(hits.len() as u64, misses.len() as u64);
 
         // Lines 16–17 + score swap (§IV-B): install replacements.
@@ -323,7 +338,7 @@ impl Prefetcher {
             }
         }
         let t_copy = cost.t_copy(local_ids.len(), dim);
-        metrics.record_local_copy(local_ids.len() as u64);
+        metrics.record_local_copy_spanned(local_ids.len() as u64, step, serial, t_copy);
 
         let labels: Vec<u32> = mb
             .seeds
@@ -383,7 +398,14 @@ pub fn baseline_prepare(
         .collect();
     let (fetched, _) = cluster.pull_grouped(&fetch_ids);
     let t_rpc = cost.t_rpc(fetch_ids.len(), dim);
-    metrics.record_rpc(fetch_ids.len() as u64, dim);
+    // Baseline has no buffer work, but zero-length spans for the
+    // prefetch-only phases keep per-phase histogram counts equal to the
+    // step count in both modes.
+    metrics.span(step, Phase::Sampling, 0.0, t_sampling);
+    metrics.span(step, Phase::Lookup, t_sampling, 0.0);
+    metrics.span(step, Phase::Scoring, t_sampling, 0.0);
+    metrics.span(step, Phase::Evict, t_sampling, 0.0);
+    metrics.record_rpc_spanned(fetch_ids.len() as u64, dim, step, t_sampling, t_rpc);
 
     let local_store = cluster.store(part.part_id);
     let mut halo_row: std::collections::HashMap<u32, usize> =
@@ -401,7 +423,7 @@ pub fn baseline_prepare(
         }
     }
     let t_copy = cost.t_copy(local_ids.len(), dim);
-    metrics.record_local_copy(local_ids.len() as u64);
+    metrics.record_local_copy_spanned(local_ids.len() as u64, step, t_sampling, t_copy);
 
     let labels: Vec<u32> = mb
         .seeds

@@ -1,0 +1,142 @@
+//! Serde lowering for the engine's report types.
+//!
+//! Gives `RunReport` and everything nested in it a machine-readable JSON
+//! form (the `repro --json-out` artifact). All impls are hand-written
+//! against the serde shim's [`Value`] tree; field names are the metric
+//! names documented in DESIGN.md and stay stable across versions.
+
+use crate::engine::{Breakdown, RunReport, TrainerReport};
+use crate::hitrate::HitRateTracker;
+use crate::init::InitReport;
+use serde::{Serialize, Value};
+
+impl Serialize for Breakdown {
+    fn to_value(&self) -> Value {
+        Value::obj([
+            ("sampling_s", self.sampling_s.to_value()),
+            ("lookup_s", self.lookup_s.to_value()),
+            ("scoring_s", self.scoring_s.to_value()),
+            ("evict_s", self.evict_s.to_value()),
+            ("rpc_s", self.rpc_s.to_value()),
+            ("copy_s", self.copy_s.to_value()),
+            ("train_s", self.train_s.to_value()),
+            ("total_serial_s", self.total_serial().to_value()),
+            (
+                "communication_stall_s",
+                self.communication_stall_s().to_value(),
+            ),
+        ])
+    }
+}
+
+impl Serialize for InitReport {
+    fn to_value(&self) -> Value {
+        Value::obj([
+            ("selection_s", self.selection_s.to_value()),
+            ("fetch_s", self.fetch_s.to_value()),
+            ("populate_s", self.populate_s.to_value()),
+            ("scoreboard_s", self.scoreboard_s.to_value()),
+            ("total_s", self.total_s().to_value()),
+            ("buffer_nodes", self.buffer_nodes.to_value()),
+            ("persistent_bytes", self.persistent_bytes.to_value()),
+        ])
+    }
+}
+
+impl Serialize for HitRateTracker {
+    fn to_value(&self) -> Value {
+        Value::obj([
+            ("minibatches", self.len().to_value()),
+            ("cumulative", self.cumulative().to_value()),
+            (
+                "per_minibatch",
+                Value::arr((0..self.len()).map(|i| self.at(i).to_value())),
+            ),
+        ])
+    }
+}
+
+impl Serialize for TrainerReport {
+    fn to_value(&self) -> Value {
+        Value::obj([
+            ("part_id", self.part_id.to_value()),
+            ("trainer_id", self.trainer_id.to_value()),
+            ("sim_time_s", self.sim_time_s.to_value()),
+            ("stall_s", self.stall_s.to_value()),
+            ("overlap_efficiency", self.overlap_efficiency.to_value()),
+            ("metrics", self.metrics.to_value()),
+            ("hits", self.hits.to_value()),
+            ("breakdown", self.breakdown.to_value()),
+            ("init", self.init.to_value()),
+            ("num_halo", self.num_halo.to_value()),
+            ("minibatches", self.minibatches.to_value()),
+            ("remote_sampled_frac", self.remote_sampled_frac.to_value()),
+            ("peak_bytes", self.peak_bytes.to_value()),
+        ])
+    }
+}
+
+impl Serialize for RunReport {
+    fn to_value(&self) -> Value {
+        Value::obj([
+            ("mode_label", self.mode_label.to_value()),
+            ("world", self.world.to_value()),
+            ("steps_per_epoch", self.steps_per_epoch.to_value()),
+            ("makespan_s", self.makespan_s.to_value()),
+            ("hit_rate", self.hit_rate().to_value()),
+            (
+                "mean_overlap_efficiency",
+                self.mean_overlap_efficiency().to_value(),
+            ),
+            ("total_init_s", self.total_init_s().to_value()),
+            ("load_imbalance", self.load_imbalance().to_value()),
+            ("aggregate_metrics", self.aggregate_metrics().to_value()),
+            ("epoch_loss", self.epoch_loss.to_value()),
+            ("epoch_acc", self.epoch_acc.to_value()),
+            ("trainers", self.trainers.to_value()),
+            ("traces", self.traces.to_value()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, EngineConfig};
+    use mgnn_graph::{DatasetKind, Scale};
+
+    #[test]
+    fn run_report_round_trips_through_json() {
+        let report = Engine::build(EngineConfig {
+            dataset: DatasetKind::Products,
+            scale: Scale::Unit,
+            num_parts: 2,
+            trainers_per_part: 1,
+            epochs: 1,
+            batch_size: 64,
+            ..Default::default()
+        })
+        .run();
+        let text = serde_json::to_string_pretty(&report.to_value());
+        let v = serde_json::from_str(&text).expect("report JSON must parse");
+        assert_eq!(v.get("world").unwrap().as_u64(), Some(report.world as u64));
+        assert_eq!(
+            v.get("makespan_s").unwrap().as_f64(),
+            Some(report.makespan_s),
+            "f64 fields survive the round trip exactly"
+        );
+        let trainers = v.get("trainers").unwrap().as_array().unwrap();
+        assert_eq!(trainers.len(), report.world);
+        let b = trainers[0].get("breakdown").unwrap();
+        assert_eq!(
+            b.get("train_s").unwrap().as_f64(),
+            Some(report.trainers[0].breakdown.train_s)
+        );
+        assert_eq!(
+            b.get("communication_stall_s").unwrap().as_f64(),
+            Some(report.trainers[0].breakdown.communication_stall_s())
+        );
+        // No tracing requested: the traces array is present but empty.
+        assert_eq!(v.get("traces").unwrap().as_array().unwrap().len(), 0);
+    }
+}

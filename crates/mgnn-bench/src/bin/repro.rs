@@ -4,40 +4,25 @@
 //! cargo run --release -p mgnn-bench --bin repro -- --experiment fig6
 //! cargo run --release -p mgnn-bench --bin repro -- --experiment all --scale small
 //! cargo run --release -p mgnn-bench --bin repro -- --experiment table4 --full
+//! cargo run --release -p mgnn-bench --bin repro -- --experiment fig8 \
+//!     --trace-out /tmp/trace --json-out /tmp/run.json
 //! ```
+//!
+//! `--json-out FILE` writes every engine run's full `RunReport` as JSON;
+//! `--trace-out DIR` additionally enables span tracing and writes one
+//! Chrome/Perfetto `*.trace.json` per run (open at <https://ui.perfetto.dev>)
+//! plus an `index.json` mapping files to experiments.
 
-use mgnn_bench::figures::{
-    ablation, convergence, fig10, fig11, fig12, fig13, fig14, fig6, fig7, fig8, fig9, lookahead,
-    partitioning, perfmodel,
-};
-use mgnn_bench::tables::{table2, table3, table4};
-use mgnn_bench::Opts;
+use mgnn_bench::{experiments, Opts};
 use mgnn_graph::Scale;
-
-const EXPERIMENTS: &[&str] = &[
-    "table2",
-    "table3",
-    "table4",
-    "fig6",
-    "fig7",
-    "fig8",
-    "fig9",
-    "fig10",
-    "fig11",
-    "fig12",
-    "fig13",
-    "fig14",
-    "perfmodel",
-    "ablation",
-    "lookahead",
-    "partitioning",
-    "convergence",
-];
+use serde::{Serialize, Value};
+use std::path::PathBuf;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro --experiment <{}|all> [--scale unit|small|bench] [--epochs N] [--batch N] [--hidden N] [--full] [--seed N]",
-        EXPERIMENTS.join("|")
+        "usage: repro --experiment <{}|all> [--scale unit|small|bench] [--epochs N] [--batch N] \
+         [--hidden N] [--full] [--seed N] [--trace-out DIR] [--json-out FILE]",
+        experiments::names().join("|")
     );
     std::process::exit(2)
 }
@@ -46,6 +31,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut experiment = String::from("all");
     let mut opts = Opts::standard();
+    let mut trace_out: Option<PathBuf> = None;
+    let mut json_out: Option<PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -90,6 +77,18 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage());
             }
+            "--trace-out" => {
+                i += 1;
+                trace_out = Some(PathBuf::from(
+                    args.get(i).cloned().unwrap_or_else(|| usage()),
+                ));
+            }
+            "--json-out" => {
+                i += 1;
+                json_out = Some(PathBuf::from(
+                    args.get(i).cloned().unwrap_or_else(|| usage()),
+                ));
+            }
             "--full" => opts.full = true,
             "--help" | "-h" => usage(),
             other => {
@@ -100,37 +99,89 @@ fn main() {
         i += 1;
     }
 
-    let list: Vec<&str> = if experiment == "all" {
-        EXPERIMENTS.to_vec()
-    } else if EXPERIMENTS.contains(&experiment.as_str()) {
-        vec![experiment.as_str()]
+    let list: Vec<&experiments::Experiment> = if experiment == "all" {
+        experiments::ALL.iter().collect()
+    } else if let Some(e) = experiments::find(&experiment) {
+        vec![e]
     } else {
         eprintln!("unknown experiment: {experiment}");
         usage()
     };
 
-    for name in list {
+    // Spans are only worth recording when there is somewhere to write
+    // them; reports alone (--json-out) keep the no-op fast path.
+    opts.trace = trace_out.is_some();
+    let capture = trace_out.is_some() || json_out.is_some();
+    if capture {
+        mgnn_obs::sink::install();
+    }
+    if let Some(dir) = &trace_out {
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| {
+            eprintln!("cannot create {}: {e}", dir.display());
+            std::process::exit(1)
+        });
+    }
+
+    let mut experiment_values: Vec<Value> = Vec::new();
+    let mut index_rows: Vec<Value> = Vec::new();
+    for exp in list {
         let t0 = std::time::Instant::now();
-        match name {
-            "table2" => println!("{}", table2::run(&opts)),
-            "table3" => println!("{}", table3::run(&opts)),
-            "table4" => println!("{}", table4::run(&opts)),
-            "fig6" => println!("{}", fig6::run(&opts)),
-            "fig7" => println!("{}", fig7::run(&opts)),
-            "fig8" => println!("{}", fig8::run(&opts)),
-            "fig9" => println!("{}", fig9::run(&opts)),
-            "fig10" => println!("{}", fig10::run(&opts)),
-            "fig11" => println!("{}", fig11::run(&opts)),
-            "fig12" => println!("{}", fig12::run(&opts)),
-            "fig13" => println!("{}", fig13::run(&opts)),
-            "fig14" => println!("{}", fig14::run(&opts)),
-            "perfmodel" => println!("{}", perfmodel::run(&opts)),
-            "ablation" => println!("{}", ablation::run(&opts)),
-            "lookahead" => println!("{}", lookahead::run(&opts)),
-            "partitioning" => println!("{}", partitioning::run(&opts)),
-            "convergence" => println!("{}", convergence::run(&opts)),
-            _ => unreachable!(),
+        println!("{}", (exp.run)(&opts));
+        eprintln!("[{} took {:.1?}]\n", exp.name, t0.elapsed());
+        if !capture {
+            continue;
         }
-        eprintln!("[{name} took {:.1?}]\n", t0.elapsed());
+        let captures = mgnn_obs::sink::drain();
+        let mut run_values: Vec<Value> = Vec::new();
+        for (seq, cap) in captures.iter().enumerate() {
+            if let Some(dir) = &trace_out {
+                if !cap.traces.is_empty() {
+                    let file = format!("{}-{seq:03}.trace.json", exp.name);
+                    let text = mgnn_obs::export::perfetto_trace_string(&cap.traces);
+                    write_or_die(&dir.join(&file), &text);
+                    index_rows.push(Value::obj([
+                        ("file", file.to_value()),
+                        ("experiment", exp.name.to_value()),
+                        ("label", cap.label.to_value()),
+                        ("seq", (seq as u64).to_value()),
+                    ]));
+                }
+            }
+            run_values.push(Value::obj([
+                ("label", cap.label.to_value()),
+                ("report", cap.report.clone()),
+            ]));
+        }
+        experiment_values.push(Value::obj([
+            ("name", exp.name.to_value()),
+            ("about", exp.about.to_value()),
+            ("runs", Value::Arr(run_values)),
+        ]));
+    }
+
+    if capture {
+        mgnn_obs::sink::uninstall();
+    }
+    if let Some(dir) = &trace_out {
+        let index = serde_json::to_string_pretty(&Value::obj([("traces", Value::Arr(index_rows))]));
+        write_or_die(&dir.join("index.json"), &index);
+        eprintln!("[traces written to {}]", dir.display());
+    }
+    if let Some(file) = &json_out {
+        let doc = Value::obj([
+            ("schema", "mgnn-repro/v1".to_value()),
+            ("scale", format!("{:?}", opts.scale).to_value()),
+            ("seed", opts.seed.to_value()),
+            ("experiments", Value::Arr(experiment_values)),
+        ]);
+        write_or_die(file, &serde_json::to_string_pretty(&doc));
+        eprintln!("[reports written to {}]", file.display());
+    }
+}
+
+fn write_or_die(path: &std::path::Path, text: &str) {
+    if let Err(e) = std::fs::write(path, text) {
+        eprintln!("cannot write {}: {e}", path.display());
+        std::process::exit(1)
     }
 }

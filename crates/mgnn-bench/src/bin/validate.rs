@@ -1,0 +1,203 @@
+//! Validate the artifacts `repro` writes: the `--json-out` report file
+//! and/or a `--trace-out` directory of Perfetto traces. Used by CI's
+//! smoke step to prove the exported JSON actually parses and carries the
+//! structure DESIGN.md documents; exits non-zero with a message on the
+//! first violation.
+//!
+//! ```bash
+//! cargo run --release -p mgnn-bench --bin validate -- \
+//!     --json /tmp/run.json --trace /tmp/trace
+//! ```
+
+use serde::Value;
+use std::path::{Path, PathBuf};
+
+fn usage() -> ! {
+    eprintln!("usage: validate [--json FILE] [--trace DIR]");
+    std::process::exit(2)
+}
+
+fn fail(msg: String) -> ! {
+    eprintln!("validate: {msg}");
+    std::process::exit(1)
+}
+
+fn load(path: &Path) -> Value {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(format!("cannot read {}: {e}", path.display())));
+    serde_json::from_str(&text)
+        .unwrap_or_else(|e| fail(format!("{} is not valid JSON: {e:?}", path.display())))
+}
+
+fn require<'v>(v: &'v Value, key: &str, ctx: &str) -> &'v Value {
+    v.get(key)
+        .unwrap_or_else(|| fail(format!("{ctx}: missing field {key:?}")))
+}
+
+/// Check one run report: world/trainers agree and the headline metrics
+/// are finite numbers.
+fn check_report(report: &Value, ctx: &str) {
+    let world = require(report, "world", ctx)
+        .as_u64()
+        .unwrap_or_else(|| fail(format!("{ctx}: world is not an integer")));
+    let trainers = require(report, "trainers", ctx)
+        .as_array()
+        .unwrap_or_else(|| fail(format!("{ctx}: trainers is not an array")));
+    if trainers.len() as u64 != world {
+        fail(format!(
+            "{ctx}: {} trainer reports for world {world}",
+            trainers.len()
+        ));
+    }
+    for key in ["makespan_s", "hit_rate", "mean_overlap_efficiency"] {
+        let x = require(report, key, ctx)
+            .as_f64()
+            .unwrap_or_else(|| fail(format!("{ctx}: {key} is not a number")));
+        if !x.is_finite() || x < 0.0 {
+            fail(format!("{ctx}: {key} = {x} is not a finite non-negative"));
+        }
+    }
+    for (t, tr) in trainers.iter().enumerate() {
+        let ctx = format!("{ctx}: trainer {t}");
+        let b = require(tr, "breakdown", &ctx);
+        for key in ["sampling_s", "rpc_s", "copy_s", "train_s", "total_serial_s"] {
+            require(b, key, &ctx)
+                .as_f64()
+                .unwrap_or_else(|| fail(format!("{ctx}: breakdown.{key} is not a number")));
+        }
+        require(tr, "minibatches", &ctx)
+            .as_u64()
+            .unwrap_or_else(|| fail(format!("{ctx}: minibatches is not an integer")));
+    }
+}
+
+fn check_json(path: &Path) {
+    let doc = load(path);
+    let ctx = path.display().to_string();
+    let schema = require(&doc, "schema", &ctx)
+        .as_str()
+        .unwrap_or_else(|| fail(format!("{ctx}: schema is not a string")));
+    if schema != "mgnn-repro/v1" {
+        fail(format!("{ctx}: unknown schema {schema:?}"));
+    }
+    let experiments = require(&doc, "experiments", &ctx)
+        .as_array()
+        .unwrap_or_else(|| fail(format!("{ctx}: experiments is not an array")));
+    if experiments.is_empty() {
+        fail(format!("{ctx}: no experiments captured"));
+    }
+    let mut runs_total = 0usize;
+    for exp in experiments {
+        let name = require(exp, "name", &ctx)
+            .as_str()
+            .unwrap_or_else(|| fail(format!("{ctx}: experiment name is not a string")))
+            .to_string();
+        let runs = require(exp, "runs", &name)
+            .as_array()
+            .unwrap_or_else(|| fail(format!("{name}: runs is not an array")));
+        for (i, run) in runs.iter().enumerate() {
+            let label = require(run, "label", &name)
+                .as_str()
+                .unwrap_or_else(|| fail(format!("{name}: run label is not a string")));
+            check_report(
+                require(run, "report", &name),
+                &format!("{name} run {i} ({label})"),
+            );
+        }
+        runs_total += runs.len();
+    }
+    if runs_total == 0 {
+        fail(format!("{ctx}: experiments captured zero engine runs"));
+    }
+    println!(
+        "{}: ok ({} experiments, {runs_total} runs)",
+        path.display(),
+        experiments.len()
+    );
+}
+
+fn check_trace_dir(dir: &Path) {
+    let index = load(&dir.join("index.json"));
+    let rows = require(&index, "traces", "index.json")
+        .as_array()
+        .unwrap_or_else(|| fail("index.json: traces is not an array".into()));
+    if rows.is_empty() {
+        fail("index.json lists no trace files".into());
+    }
+    let mut spans_total = 0usize;
+    for row in rows {
+        let file = require(row, "file", "index.json")
+            .as_str()
+            .unwrap_or_else(|| fail("index.json: file is not a string".into()))
+            .to_string();
+        let doc = load(&dir.join(&file));
+        let events = require(&doc, "traceEvents", &file)
+            .as_array()
+            .unwrap_or_else(|| fail(format!("{file}: traceEvents is not an array")));
+        let mut spans = 0usize;
+        let mut metadata = 0usize;
+        for ev in events {
+            match require(ev, "ph", &file).as_str() {
+                Some("X") => {
+                    for key in ["pid", "tid", "ts", "dur"] {
+                        require(ev, key, &file)
+                            .as_f64()
+                            .unwrap_or_else(|| fail(format!("{file}: span {key} is not a number")));
+                    }
+                    require(ev, "name", &file)
+                        .as_str()
+                        .unwrap_or_else(|| fail(format!("{file}: span name is not a string")));
+                    spans += 1;
+                }
+                Some("M") => metadata += 1,
+                other => fail(format!("{file}: unexpected event phase {other:?}")),
+            }
+        }
+        if spans == 0 {
+            fail(format!("{file}: no complete (ph=X) span events"));
+        }
+        if metadata == 0 {
+            fail(format!("{file}: no thread/process metadata events"));
+        }
+        spans_total += spans;
+    }
+    println!(
+        "{}: ok ({} trace files, {spans_total} spans)",
+        dir.display(),
+        rows.len()
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json: Option<PathBuf> = None;
+    let mut trace: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => {
+                i += 1;
+                json = Some(PathBuf::from(
+                    args.get(i).cloned().unwrap_or_else(|| usage()),
+                ));
+            }
+            "--trace" => {
+                i += 1;
+                trace = Some(PathBuf::from(
+                    args.get(i).cloned().unwrap_or_else(|| usage()),
+                ));
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    if json.is_none() && trace.is_none() {
+        usage();
+    }
+    if let Some(path) = json {
+        check_json(&path);
+    }
+    if let Some(dir) = trace {
+        check_trace_dir(&dir);
+    }
+}

@@ -5,6 +5,7 @@ use massivegnn::{Engine, EngineConfig, Mode, PrefetchConfig, RunReport, ScoreLay
 use mgnn_graph::{DatasetKind, Scale};
 use mgnn_model::ModelKind;
 use mgnn_net::Backend;
+use mgnn_obs::Phase;
 
 /// Harness-wide options (size/effort knobs shared by all experiments).
 #[derive(Debug, Clone)]
@@ -24,6 +25,10 @@ pub struct Opts {
     pub full: bool,
     /// Master seed.
     pub seed: u64,
+    /// Record per-step spans, histograms and series (`mgnn-obs`) in every
+    /// engine the experiments build. Off by default: the disabled path is
+    /// a no-op and leaves `RunReport` bitwise identical.
+    pub trace: bool,
 }
 
 impl Default for Opts {
@@ -36,6 +41,7 @@ impl Default for Opts {
             hidden_dim: 64,
             full: false,
             seed: 42,
+            trace: false,
         }
     }
 }
@@ -108,6 +114,61 @@ pub fn engine_config(
         cost: Default::default(),
         train_math: false,
         parallel: false,
+        trace: opts.trace,
+    }
+}
+
+/// Cross-check a traced run's spans against its own report: for every
+/// trainer, every phase must have exactly one span per minibatch, the
+/// span durations must sum to the corresponding [`Breakdown`] field
+/// within 1e-6 s, and the per-step anchors/series must cover every step.
+/// Panics with a descriptive message on any mismatch.
+///
+/// [`Breakdown`]: massivegnn::engine::Breakdown
+pub fn assert_trace_consistent(report: &RunReport) {
+    assert_eq!(
+        report.traces.len(),
+        report.trainers.len(),
+        "traced run must carry one trace per trainer"
+    );
+    for (trace, tr) in report.traces.iter().zip(&report.trainers) {
+        assert_eq!(trace.part_id, tr.part_id);
+        let steps = tr.minibatches;
+        assert_eq!(trace.anchors.len() as u64, steps, "one anchor per step");
+        assert_eq!(trace.series.len() as u64, steps, "one sample per step");
+        for phase in Phase::ALL {
+            let stats = trace
+                .phase(phase)
+                .unwrap_or_else(|| panic!("trainer {}: no {} spans", trace.trainer, phase.name()));
+            assert_eq!(
+                stats.count,
+                steps,
+                "trainer {}: {} span count != minibatches",
+                trace.trainer,
+                phase.name()
+            );
+            if let Some(expect) = tr.breakdown.phase_s(phase) {
+                assert!(
+                    (stats.sum_s - expect).abs() < 1e-6,
+                    "trainer {}: {} spans sum to {} but breakdown says {}",
+                    trace.trainer,
+                    phase.name(),
+                    stats.sum_s,
+                    expect
+                );
+            }
+        }
+        for ev in &trace.events {
+            let abs = trace.absolute_start_s(ev).unwrap_or_else(|| {
+                panic!(
+                    "trainer {}: {} span at step {} has no anchor",
+                    trace.trainer,
+                    ev.phase.name(),
+                    ev.step
+                )
+            });
+            assert!(abs >= 0.0 && abs.is_finite());
+        }
     }
 }
 
@@ -321,6 +382,49 @@ mod tests {
         assert_eq!(cmp.world, 4);
         assert!(cmp.sequential_s > 0.0 && cmp.parallel_s > 0.0);
         assert!(!cmp.report.final_params.is_empty());
+    }
+
+    #[test]
+    fn traced_run_passes_the_consistency_check() {
+        let mut cfg = engine_config(&Opts::quick(), DatasetKind::Products, Backend::Cpu, 2);
+        cfg.trainers_per_part = 2;
+        cfg.trace = true;
+        cfg.mode = Mode::Prefetch(PrefetchConfig::default());
+        let report = Engine::build(cfg).run();
+        assert_trace_consistent(&report);
+    }
+
+    #[test]
+    #[ignore = "timing-sensitive; run explicitly: cargo test --release -- --ignored tracing_overhead"]
+    fn tracing_overhead_under_one_percent() {
+        // Acceptance check for the no-op fast path: on a unit-scale run,
+        // even *enabled* tracing must cost < 1% wall clock, so the
+        // disabled path (a handful of `Option::None` checks) is free.
+        // Median of several runs to damp scheduler noise; run in release.
+        let mut cfg = engine_config(&Opts::quick(), DatasetKind::Products, Backend::Cpu, 2);
+        cfg.trainers_per_part = 2;
+        cfg.mode = Mode::Prefetch(PrefetchConfig::default());
+        let median = |cfg: &EngineConfig| {
+            let mut times: Vec<f64> = (0..7)
+                .map(|_| {
+                    let engine = Engine::build(cfg.clone());
+                    let t0 = std::time::Instant::now();
+                    let _ = engine.run();
+                    t0.elapsed().as_secs_f64()
+                })
+                .collect();
+            times.sort_by(f64::total_cmp);
+            times[times.len() / 2]
+        };
+        let plain_s = median(&cfg);
+        cfg.trace = true;
+        let traced_s = median(&cfg);
+        let overhead_pct = 100.0 * (traced_s - plain_s) / plain_s;
+        println!("untraced {plain_s:.4}s, traced {traced_s:.4}s, overhead {overhead_pct:.2}%");
+        assert!(
+            overhead_pct < 1.0,
+            "tracing overhead {overhead_pct:.2}% exceeds the 1% contract"
+        );
     }
 
     #[test]

@@ -133,6 +133,13 @@ impl PipelineClock {
     /// Process one batch: it is prepared (respecting server and queue
     /// constraints) and then trained.
     pub fn step(&mut self, t_prep: f64, t_train: f64) {
+        self.step_timed(t_prep, t_train);
+    }
+
+    /// [`step`](Self::step), returning where on the simulated timeline
+    /// the batch's preparation and training landed — the anchors the
+    /// tracing layer needs to place spans absolutely.
+    pub fn step_timed(&mut self, t_prep: f64, t_train: f64) -> PipelineStepTimes {
         debug_assert!(t_prep >= 0.0 && t_train >= 0.0);
         let queue_room = if self.recent_train_starts.len() < self.lookahead {
             f64::NEG_INFINITY // queue not yet full; prep may start immediately
@@ -148,11 +155,15 @@ impl PipelineClock {
         // batches, Eq. 4's unavoidable serial preparation) is excluded
         // from the efficiency metric, as in the paper's Fig. 9 which
         // measures steady-state waiting.
+        let mut step_stall = 0.0;
+        let mut step_slack = 0.0;
         if self.steps >= self.lookahead as u64 {
             if prep_done > self.train_done {
-                self.stall += prep_done - self.train_done;
+                step_stall = prep_done - self.train_done;
+                self.stall += step_stall;
             } else {
-                self.slack += self.train_done - prep_done;
+                step_slack = self.train_done - prep_done;
+                self.slack += step_slack;
             }
         }
         let train_done = train_start + t_train;
@@ -163,6 +174,14 @@ impl PipelineClock {
         }
         self.recent_train_starts.push_back(train_start);
         self.steps += 1;
+        PipelineStepTimes {
+            prep_start,
+            prep_done,
+            train_start,
+            train_done,
+            stall_s: step_stall,
+            slack_s: step_slack,
+        }
     }
 
     /// Simulated completion time of everything processed so far.
@@ -175,6 +194,11 @@ impl PipelineClock {
         self.stall
     }
 
+    /// Cumulative slack time (batches waiting ready in the queue).
+    pub fn slack(&self) -> f64 {
+        self.slack
+    }
+
     /// Overlap efficiency in `[0, 1]` (1 = every batch was ready when the
     /// trainer wanted it).
     pub fn overlap_efficiency(&self) -> f64 {
@@ -185,6 +209,24 @@ impl PipelineClock {
             self.slack / denom
         }
     }
+}
+
+/// Where one [`PipelineClock::step_timed`] batch landed on the simulated
+/// timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineStepTimes {
+    /// When the batch's preparation started.
+    pub prep_start: f64,
+    /// When its preparation finished.
+    pub prep_done: f64,
+    /// When its training started.
+    pub train_start: f64,
+    /// When its training finished.
+    pub train_done: f64,
+    /// Trainer stall attributed to this batch (0 during pipeline warmup).
+    pub stall_s: f64,
+    /// Slack attributed to this batch (0 during warmup).
+    pub slack_s: f64,
 }
 
 #[cfg(test)]
@@ -298,6 +340,42 @@ mod tests {
         }
         assert!(p.now() + 1e-9 >= prep_sum.max(train_sum));
         assert!(p.now() <= prep_sum + train_sum + 1e-9);
+    }
+
+    #[test]
+    fn step_timed_reports_timeline_and_per_step_stall() {
+        let mut p = PipelineClock::new(1, 10.0);
+        let t0 = p.step_timed(2.0, 3.0);
+        assert_eq!(t0.prep_start, 10.0);
+        assert_eq!(t0.prep_done, 12.0);
+        assert_eq!(t0.train_start, 12.0);
+        assert_eq!(t0.train_done, 15.0);
+        assert_eq!((t0.stall_s, t0.slack_s), (0.0, 0.0), "warmup excluded");
+        // Steady state with prep 2 / train 3: prep hidden, slack 1 per step.
+        let t1 = p.step_timed(2.0, 3.0);
+        assert!((t1.slack_s - 1.0).abs() < 1e-12);
+        assert_eq!(t1.stall_s, 0.0);
+        assert_eq!(t1.train_start, t0.train_done);
+        // A burst stalls the trainer by prep_done − prev train_done.
+        let t2 = p.step_timed(10.0, 3.0);
+        assert!((t2.stall_s - (t2.prep_done - t1.train_done)).abs() < 1e-12);
+        assert!((p.stall() - t2.stall_s).abs() < 1e-12);
+        assert!((p.slack() - t1.slack_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn step_and_step_timed_agree() {
+        let mut a = PipelineClock::new(2, 0.0);
+        let mut b = PipelineClock::new(2, 0.0);
+        for i in 0..50 {
+            let prep = 1.0 + (i % 5) as f64;
+            let train = 2.0 + (i % 3) as f64;
+            a.step(prep, train);
+            b.step_timed(prep, train);
+        }
+        assert_eq!(a.now(), b.now());
+        assert_eq!(a.stall(), b.stall());
+        assert_eq!(a.overlap_efficiency(), b.overlap_efficiency());
     }
 
     #[test]

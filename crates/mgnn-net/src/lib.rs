@@ -27,7 +27,7 @@ pub mod kvstore;
 pub mod metrics;
 pub mod rpc;
 
-pub use clock::SimClock;
+pub use clock::{PipelineClock, PipelineStepTimes, SimClock};
 pub use cluster::SimCluster;
 pub use cost::{Backend, CostModel};
 pub use kvstore::KvStore;

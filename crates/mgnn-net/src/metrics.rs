@@ -4,11 +4,23 @@
 //! can update them concurrently (the paper's Fig. 11 "remote nodes fetched"
 //! and §V-B5 communication-time analysis come straight from these).
 
+use mgnn_obs::{Lane, Phase, SpanRecorder};
+use serde::{Serialize, Value};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Exact event counters for one trainer.
+///
+/// Optionally carries that trainer's [`SpanRecorder`]: `CommMetrics` is
+/// the one handle already shared by the trainer thread, its prepare
+/// thread, and the prefetcher, so piggybacking the recorder here wires
+/// span recording through the whole pipeline without changing any
+/// signatures. With no recorder attached (the default), the `*_spanned`
+/// methods degrade to their plain counterparts.
 #[derive(Debug, Default)]
 pub struct CommMetrics {
+    /// Span recorder for this trainer, when tracing is enabled.
+    recorder: Option<Arc<SpanRecorder>>,
     /// Bulk RPC requests issued.
     pub rpc_calls: AtomicU64,
     /// Remote node feature rows fetched over RPC (the paper's Fig. 11 Y).
@@ -33,6 +45,28 @@ impl CommMetrics {
         Self::default()
     }
 
+    /// Fresh counters that also record spans into `recorder`.
+    pub fn with_recorder(recorder: Arc<SpanRecorder>) -> Self {
+        CommMetrics {
+            recorder: Some(recorder),
+            ..Self::default()
+        }
+    }
+
+    /// The attached span recorder, if tracing is enabled.
+    pub fn recorder(&self) -> Option<&Arc<SpanRecorder>> {
+        self.recorder.as_ref()
+    }
+
+    /// Record a span for `phase` of `step` on the prepare lane, if a
+    /// recorder is attached. `rel_start_s` is relative to the step's
+    /// prepare-window start.
+    pub fn span(&self, step: u64, phase: Phase, rel_start_s: f64, dur_s: f64) {
+        if let Some(r) = &self.recorder {
+            r.record(Lane::Prepare, step, phase, rel_start_s, dur_s);
+        }
+    }
+
     /// Record one bulk RPC fetching `nodes` rows of `dim` f32 features.
     pub fn record_rpc(&self, nodes: u64, dim: usize) {
         if nodes == 0 {
@@ -48,6 +82,30 @@ impl CommMetrics {
     /// Record gathering `nodes` local rows.
     pub fn record_local_copy(&self, nodes: u64) {
         self.local_nodes_copied.fetch_add(nodes, Ordering::Relaxed);
+    }
+
+    /// [`record_rpc`](Self::record_rpc) plus an `rpc` span for `step`.
+    /// The span is recorded even for `nodes == 0` (a zero-duration fetch
+    /// is still one pipeline stage), keeping histogram counts equal to
+    /// the step count.
+    pub fn record_rpc_spanned(
+        &self,
+        nodes: u64,
+        dim: usize,
+        step: u64,
+        rel_start_s: f64,
+        dur_s: f64,
+    ) {
+        self.span(step, Phase::Rpc, rel_start_s, dur_s);
+        self.record_rpc(nodes, dim);
+    }
+
+    /// [`record_local_copy`](Self::record_local_copy) plus a `copy` span
+    /// for `step` (recorded even for `nodes == 0`; see
+    /// [`record_rpc_spanned`](Self::record_rpc_spanned)).
+    pub fn record_local_copy_spanned(&self, nodes: u64, step: u64, rel_start_s: f64, dur_s: f64) {
+        self.span(step, Phase::Copy, rel_start_s, dur_s);
+        self.record_local_copy(nodes);
     }
 
     /// Record buffer lookup results for one minibatch.
@@ -137,6 +195,22 @@ impl MetricsSnapshot {
     }
 }
 
+impl Serialize for MetricsSnapshot {
+    fn to_value(&self) -> Value {
+        Value::obj([
+            ("rpc_calls", self.rpc_calls.to_value()),
+            ("remote_nodes_fetched", self.remote_nodes_fetched.to_value()),
+            ("remote_bytes", self.remote_bytes.to_value()),
+            ("local_nodes_copied", self.local_nodes_copied.to_value()),
+            ("buffer_hits", self.buffer_hits.to_value()),
+            ("buffer_misses", self.buffer_misses.to_value()),
+            ("evictions", self.evictions.to_value()),
+            ("replacements_fetched", self.replacements_fetched.to_value()),
+            ("hit_rate", self.hit_rate().to_value()),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -203,5 +277,80 @@ mod tests {
         let s = m.snapshot();
         assert_eq!(s.buffer_hits, 4000);
         assert_eq!(s.buffer_misses, 4000);
+    }
+
+    #[test]
+    fn two_threads_every_counter_sums_exactly() {
+        use std::sync::Arc;
+        // The real concurrency pattern: the trainer thread and the
+        // prepare thread both hammer the same CommMetrics. Every
+        // record_* method must sum exactly — no lost updates.
+        let m = Arc::new(CommMetrics::new());
+        const N: u64 = 2000;
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for _ in 0..N {
+                        m.record_rpc(3, 8);
+                        m.record_local_copy(5);
+                        m.record_lookup(2, 1);
+                        m.record_eviction(4, 6);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = m.snapshot();
+        assert_eq!(s.rpc_calls, 2 * N);
+        assert_eq!(s.remote_nodes_fetched, 2 * N * 3);
+        assert_eq!(s.remote_bytes, 2 * N * 3 * 8 * 4);
+        assert_eq!(s.local_nodes_copied, 2 * N * 5);
+        assert_eq!(s.buffer_hits, 2 * N * 2);
+        assert_eq!(s.buffer_misses, 2 * N);
+        assert_eq!(s.evictions, 2 * N * 4);
+        assert_eq!(s.replacements_fetched, 2 * N * 6);
+    }
+
+    #[test]
+    fn spanned_variants_feed_recorder_and_counters() {
+        use mgnn_obs::Phase;
+        use std::sync::Arc;
+        let rec = Arc::new(SpanRecorder::for_trainer(0, 0));
+        let m = CommMetrics::with_recorder(Arc::clone(&rec));
+        m.record_rpc_spanned(10, 4, 0, 0.001, 0.002);
+        m.record_rpc_spanned(0, 4, 1, 0.001, 0.0); // empty fetch: span only
+        m.record_local_copy_spanned(7, 0, 0.001, 0.0005);
+        let s = m.snapshot();
+        assert_eq!(s.rpc_calls, 1, "empty RPC still skipped in counters");
+        assert_eq!(s.remote_nodes_fetched, 10);
+        assert_eq!(s.local_nodes_copied, 7);
+        let t = rec.snapshot();
+        assert_eq!(t.phase(Phase::Rpc).unwrap().count, 2, "span per step");
+        assert_eq!(t.phase(Phase::Copy).unwrap().count, 1);
+    }
+
+    #[test]
+    fn spanned_variants_without_recorder_match_plain() {
+        let a = CommMetrics::new();
+        let b = CommMetrics::new();
+        a.record_rpc_spanned(10, 4, 0, 0.0, 0.1);
+        a.record_local_copy_spanned(3, 0, 0.0, 0.1);
+        b.record_rpc(10, 4);
+        b.record_local_copy(3);
+        assert_eq!(a.snapshot(), b.snapshot());
+    }
+
+    #[test]
+    fn snapshot_serializes() {
+        let m = CommMetrics::new();
+        m.record_rpc(2, 4);
+        m.record_lookup(1, 1);
+        let v = m.snapshot().to_value();
+        assert_eq!(v.get("rpc_calls").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("remote_bytes").unwrap().as_u64(), Some(2 * 4 * 4));
+        assert_eq!(v.get("hit_rate").unwrap().as_f64(), Some(0.5));
     }
 }

@@ -45,14 +45,41 @@ impl RpcServer {
     /// so the threaded overlap pipeline has something genuine to hide
     /// (in-process RPC is otherwise effectively free).
     pub fn spawn_with_delay(kv: Arc<KvStore>, delay: std::time::Duration) -> Self {
+        Self::spawn_inner(kv, delay, None)
+    }
+
+    /// [`spawn_with_delay`](Self::spawn_with_delay), recording one
+    /// wall-clock `rpc` span on the recorder's server lane per pull
+    /// served. Unlike the simulated-time spans the engine records, these
+    /// measure real service time on a real thread — the "step" key is the
+    /// server's running request index, since a server does not know which
+    /// training step a pull belongs to.
+    pub fn spawn_traced(
+        kv: Arc<KvStore>,
+        delay: std::time::Duration,
+        recorder: Arc<mgnn_obs::SpanRecorder>,
+    ) -> Self {
+        Self::spawn_inner(kv, delay, Some(recorder))
+    }
+
+    fn spawn_inner(
+        kv: Arc<KvStore>,
+        delay: std::time::Duration,
+        recorder: Option<Arc<mgnn_obs::SpanRecorder>>,
+    ) -> Self {
         let (tx, rx) = unbounded::<Request>();
         let handle = std::thread::Builder::new()
             .name(format!("kvserver-{}", kv.part_id()))
             .spawn(move || {
                 let mut served = 0u64;
+                let mut requests = 0u64;
                 while let Ok(req) = rx.recv() {
                     match req {
                         Request::Pull { ids, reply } => {
+                            let _span = recorder.as_ref().map(|r| {
+                                r.start_wall(mgnn_obs::Lane::Server, requests, mgnn_obs::Phase::Rpc)
+                            });
+                            requests += 1;
                             served += ids.len() as u64;
                             if !delay.is_zero() && !ids.is_empty() {
                                 std::thread::sleep(delay);
@@ -203,6 +230,29 @@ mod tests {
         let t1 = std::time::Instant::now();
         assert_eq!(client.pull(vec![]), Vec::<f32>::new());
         assert!(t1.elapsed() < std::time::Duration::from_millis(2));
+    }
+
+    #[test]
+    fn traced_server_records_service_spans() {
+        use mgnn_obs::{Lane, Phase, SpanRecorder};
+        let rec = Arc::new(SpanRecorder::for_trainer(0, 0));
+        let server =
+            RpcServer::spawn_traced(kv(), std::time::Duration::from_millis(1), Arc::clone(&rec));
+        let client = server.client();
+        assert_eq!(client.pull(vec![1]), vec![1.0, 1.5]);
+        assert_eq!(client.pull(vec![3]), vec![3.0, 3.5]);
+        server.shutdown();
+        let t = rec.snapshot();
+        let rpc = t.phase(Phase::Rpc).unwrap();
+        assert_eq!(rpc.count, 2);
+        assert!(rpc.min_s >= 1.0e-3, "span covers the service delay");
+        assert!(t.events.iter().all(|e| e.lane == Lane::Server));
+        assert_eq!(t.events[0].step, 0);
+        assert_eq!(t.events[1].step, 1);
+        assert!(
+            t.events[1].rel_start_s >= t.events[0].rel_start_s,
+            "server-lane spans are wall-ordered"
+        );
     }
 
     #[test]

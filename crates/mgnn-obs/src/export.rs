@@ -1,0 +1,178 @@
+//! Exporters: Chrome/Perfetto `trace.json` and a serde JSON snapshot.
+//!
+//! The Perfetto export emits the Chrome trace-event format (the
+//! `{"traceEvents": [...]}` envelope of complete `"X"` events plus `"M"`
+//! metadata naming processes and threads), which both
+//! <https://ui.perfetto.dev> and `chrome://tracing` open directly. Each
+//! trainer becomes one *process* with up to three *threads*: its train
+//! lane, its prepare lane, and (when the traced RPC server is used) a
+//! server lane. Timestamps are the simulated timeline in microseconds,
+//! resolved through each trace's per-step anchors; spans whose step has
+//! no anchor (a batch prepared ahead but never consumed) are dropped.
+//!
+//! The snapshot export keeps no per-event data — just per-phase latency
+//! summaries and the per-step telemetry series — so it stays small even
+//! for long runs.
+
+use crate::span::{SpanEvent, TrainerTrace};
+use serde::{Serialize, Value};
+
+/// Microseconds per second (trace-event timestamps are µs).
+const US: f64 = 1.0e6;
+
+fn event_row(trace: &TrainerTrace, ev: &SpanEvent, start_s: f64) -> Value {
+    Value::obj([
+        ("name", Value::Str(ev.phase.name().into())),
+        ("ph", Value::Str("X".into())),
+        ("pid", Value::U64(trace.trainer as u64)),
+        ("tid", Value::U64(ev.lane.tid() as u64)),
+        ("ts", Value::F64(start_s * US)),
+        ("dur", Value::F64(ev.dur_s * US)),
+        ("cat", Value::Str(ev.lane.name().into())),
+        ("args", Value::obj([("step", Value::U64(ev.step))])),
+    ])
+}
+
+fn metadata_row(name: &str, pid: u64, tid: Option<u64>, label: &str) -> Value {
+    let mut fields = vec![
+        ("name".to_string(), Value::Str(name.into())),
+        ("ph".to_string(), Value::Str("M".into())),
+        ("pid".to_string(), Value::U64(pid)),
+    ];
+    if let Some(tid) = tid {
+        fields.push(("tid".to_string(), Value::U64(tid)));
+    }
+    fields.push((
+        "args".to_string(),
+        Value::obj([("name", Value::Str(label.into()))]),
+    ));
+    Value::Obj(fields)
+}
+
+/// Lower a set of trainer traces to a Chrome/Perfetto trace-event tree.
+pub fn perfetto_trace(traces: &[TrainerTrace]) -> Value {
+    let mut rows: Vec<Value> = Vec::new();
+    for trace in traces {
+        let pid = trace.trainer as u64;
+        rows.push(metadata_row(
+            "process_name",
+            pid,
+            None,
+            &format!("trainer {} (part {})", trace.trainer, trace.part_id),
+        ));
+        // Name only the lanes that actually carry events.
+        let mut lanes: Vec<_> = trace.events.iter().map(|e| e.lane).collect();
+        lanes.sort_by_key(|l| l.tid());
+        lanes.dedup();
+        for lane in lanes {
+            rows.push(metadata_row(
+                "thread_name",
+                pid,
+                Some(lane.tid() as u64),
+                lane.name(),
+            ));
+        }
+        // Resolve each span onto the absolute timeline, then sort for a
+        // deterministic file (ring order interleaves the two writers).
+        let mut resolved: Vec<(u64, u32, f64, u64, SpanEvent)> = trace
+            .events
+            .iter()
+            .filter_map(|ev| {
+                trace
+                    .absolute_start_s(ev)
+                    .map(|s| (pid, ev.lane.tid(), s, ev.step, *ev))
+            })
+            .collect();
+        resolved.sort_by(|a, b| {
+            (a.0, a.1, a.3, a.4.phase.index())
+                .cmp(&(b.0, b.1, b.3, b.4.phase.index()))
+                .then(a.2.total_cmp(&b.2))
+        });
+        for (_, _, start_s, _, ev) in &resolved {
+            rows.push(event_row(trace, ev, *start_s));
+        }
+    }
+    Value::obj([
+        ("traceEvents", Value::Arr(rows)),
+        ("displayTimeUnit", Value::Str("ms".into())),
+    ])
+}
+
+/// Perfetto trace as a JSON string, ready to write to `trace.json`.
+pub fn perfetto_trace_string(traces: &[TrainerTrace]) -> String {
+    serde_json::to_string(&perfetto_trace(traces))
+}
+
+/// Compact snapshot of a run's telemetry: per-trainer phase summaries and
+/// step series, without individual span events.
+pub fn snapshot(traces: &[TrainerTrace]) -> Value {
+    Value::obj([(
+        "trainers",
+        Value::Arr(traces.iter().map(Serialize::to_value).collect()),
+    )])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{Lane, Phase, SpanRecorder, StepAnchor};
+
+    fn sample_trace() -> TrainerTrace {
+        let r = SpanRecorder::for_trainer(2, 5);
+        r.record(Lane::Prepare, 0, Phase::Sampling, 0.0, 1.0e-3);
+        r.record(Lane::Prepare, 0, Phase::Rpc, 1.0e-3, 3.0e-3);
+        r.record(Lane::Train, 0, Phase::Train, 0.0, 2.0e-3);
+        r.record_anchor(StepAnchor {
+            step: 0,
+            prep_start_s: 0.0,
+            train_start_s: 4.0e-3,
+        });
+        // Anchorless span: prepared ahead, never trained on.
+        r.record(Lane::Prepare, 1, Phase::Sampling, 0.0, 1.0e-3);
+        r.snapshot()
+    }
+
+    #[test]
+    fn perfetto_has_metadata_and_complete_events() {
+        let v = perfetto_trace(&[sample_trace()]);
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        let metas: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("M"))
+            .collect();
+        let spans: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("X"))
+            .collect();
+        // process_name + two thread_names (prepare, train).
+        assert_eq!(metas.len(), 3);
+        // The anchorless span is dropped.
+        assert_eq!(spans.len(), 3);
+        let train = spans
+            .iter()
+            .find(|e| e.get("name").unwrap().as_str() == Some("train"))
+            .unwrap();
+        assert_eq!(train.get("ts").unwrap().as_f64(), Some(4.0e3));
+        assert_eq!(train.get("dur").unwrap().as_f64(), Some(2.0e3));
+        assert_eq!(train.get("pid").unwrap().as_u64(), Some(2));
+    }
+
+    #[test]
+    fn perfetto_string_parses_back() {
+        let s = perfetto_trace_string(&[sample_trace()]);
+        let v = serde_json::from_str(&s).unwrap();
+        assert!(v.get("traceEvents").unwrap().as_array().is_some());
+    }
+
+    #[test]
+    fn snapshot_carries_phases_and_series() {
+        let v = snapshot(&[sample_trace()]);
+        let t0 = v.get("trainers").unwrap().get_index(0).unwrap();
+        assert_eq!(t0.get("trainer").unwrap().as_u64(), Some(2));
+        assert_eq!(t0.get("part_id").unwrap().as_u64(), Some(5));
+        let phases = t0.get("phases").unwrap().as_array().unwrap();
+        assert!(phases
+            .iter()
+            .any(|p| p.get("phase").unwrap().as_str() == Some("rpc")));
+    }
+}

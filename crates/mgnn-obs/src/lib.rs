@@ -1,0 +1,34 @@
+//! Observability for the MassiveGNN training pipeline.
+//!
+//! Three layers, cheapest first:
+//!
+//! 1. **Span recording** ([`SpanRecorder`]) — each trainer gets one
+//!    recorder shared between its worker thread and its prepare thread.
+//!    Every pipeline phase (`sampling`, `lookup`, `scoring`, `evict`,
+//!    `rpc`, `copy`, `train`, `allreduce`) records a step-keyed span;
+//!    per-step [`StepAnchor`]s map lane-relative offsets onto the
+//!    simulated timeline.
+//! 2. **Aggregation** ([`LatencyHistogram`], [`StepPoint`]) — log₂
+//!    buckets give p50/p95/p99/max per phase without storing every
+//!    sample; a per-step series tracks stall time, hit rate, and overlap
+//!    efficiency.
+//! 3. **Export** ([`export`], [`sink`]) — Chrome/Perfetto `trace.json`
+//!    (one process per trainer, one thread per lane) and a compact serde
+//!    JSON snapshot; a process-global sink lets the repro binary collect
+//!    reports from experiment modules without rewiring them.
+//!
+//! Recording is strictly opt-in: when tracing is off, no recorder exists
+//! and every integration point short-circuits on `Option::None`, so the
+//! engine's simulated timings and reports are bitwise identical to a
+//! build without this crate.
+
+pub mod export;
+pub mod hist;
+pub mod sink;
+pub mod span;
+
+pub use hist::LatencyHistogram;
+pub use sink::RunCapture;
+pub use span::{
+    Lane, Phase, PhaseStats, SpanEvent, SpanRecorder, StepAnchor, StepPoint, TrainerTrace,
+};
