@@ -206,15 +206,18 @@ impl CacheSim {
                                 && self.last_used[self.occupants[i] as usize] != self.step
                         })
                         .collect();
-                    evict.sort_by(|&a, &b| self.s_e[a].partial_cmp(&self.s_e[b]).unwrap());
+                    // `total_cmp` + index tie-break: panic-proof under
+                    // NaN and fully deterministic on equal scores.
+                    evict.sort_unstable_by(|&a, &b| {
+                        self.s_e[a].total_cmp(&self.s_e[b]).then(a.cmp(&b))
+                    });
                     // Replacement candidates: uncached with S_A > 0, by S_A.
                     let mut cands: Vec<u32> = (0..self.num_halo as u32)
                         .filter(|&h| !self.present[h as usize] && self.s_a[h as usize] > 0.0)
                         .collect();
-                    cands.sort_by(|&a, &b| {
+                    cands.sort_unstable_by(|&a, &b| {
                         self.s_a[b as usize]
-                            .partial_cmp(&self.s_a[a as usize])
-                            .unwrap()
+                            .total_cmp(&self.s_a[a as usize])
                             .then(a.cmp(&b))
                     });
                     let k = evict.len().min(cands.len());

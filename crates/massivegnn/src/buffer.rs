@@ -127,10 +127,13 @@ impl PrefetchBuffer {
     }
 
     /// Partition a sampled halo-index batch into (hits, misses) —
-    /// Algorithm 2 lines 4–5. Uses rayon for large batches (the paper
-    /// parallelizes this lookup with NUMBA to escape the Python GIL;
-    /// here the direct-mapped table makes each probe O(1) and the split
-    /// embarrassingly parallel).
+    /// Algorithm 2 lines 4–5. Large batches run on the rayon pool (the
+    /// paper parallelizes this lookup with NUMBA to escape the Python
+    /// GIL; here the direct-mapped table makes each probe O(1) and the
+    /// split embarrassingly parallel). The shim's `partition_map`
+    /// combines per-chunk results in chunk order, so both output
+    /// vectors preserve input order exactly like the serial loop, at
+    /// any thread count.
     pub fn probe_batch(&self, sampled: &[u32]) -> (Vec<u32>, Vec<u32>) {
         const PAR_THRESHOLD: usize = 4096;
         if sampled.len() < PAR_THRESHOLD {

@@ -101,6 +101,12 @@ pub struct EngineConfig {
     /// Step every trainer on its own OS thread with a per-step DDP
     /// barrier (wall-clock parallelism; results are bitwise-identical to
     /// the sequential engine) instead of round-robin on one thread.
+    ///
+    /// Trainer threads are spawned *outside* the global kernel pool, so a
+    /// `num_parts × trainers_per_part` world multiplies against the
+    /// pool's size. On small machines set `MGNN_THREADS` (e.g. to 1) to
+    /// keep `world × pool` within the core count; results are unaffected
+    /// — the pool is bitwise-deterministic at any thread count.
     pub parallel: bool,
     /// Record per-phase spans, latency histograms, and per-step telemetry
     /// into [`RunReport::traces`]. Off by default; when off, no recorder

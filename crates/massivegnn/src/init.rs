@@ -53,9 +53,20 @@ pub fn initialize_prefetcher(
     let capacity = capacity.min(num_halo);
 
     // Top-capacity halo indices by degree (ties by id for determinism).
+    // O(n) partial selection instead of a full O(n log n) sort over all
+    // halo nodes (Fig. 8 init cost): quickselect the capacity-th node,
+    // drop the tail, sort only the survivors. The (Reverse(degree), id)
+    // key is a total order over distinct ids, so this reproduces the
+    // full-sort prefix exactly.
+    let key = |h: &u32| (std::cmp::Reverse(part.halo_degree[*h as usize]), *h);
     let mut order: Vec<u32> = (0..num_halo as u32).collect();
-    order.sort_by_key(|&h| (std::cmp::Reverse(part.halo_degree[h as usize]), h));
-    order.truncate(capacity);
+    if capacity == 0 {
+        order.clear();
+    } else if capacity < order.len() {
+        order.select_nth_unstable_by_key(capacity - 1, key);
+        order.truncate(capacity);
+    }
+    order.sort_unstable_by_key(key);
     let selection_s = cost.t_lookup(num_halo) + cost.t_scoring(num_halo, false, num_halo);
 
     // Bulk fetch (line 18: RPC).
@@ -237,6 +248,28 @@ mod tests {
         let (pf, _) =
             initialize_prefetcher(&part, cfg, n, &cluster, &CostModel::default(), &metrics);
         assert_eq!(pf.buffer.len(), part.num_halo());
+    }
+
+    /// The O(n) partial selection must populate the buffer in exactly
+    /// the order the old full `sort_by_key` + truncate produced.
+    #[test]
+    fn partial_selection_matches_full_sort_order() {
+        let (part, cluster, n) = fixture();
+        let metrics = CommMetrics::new();
+        for f_h in [0.05, 0.3, 0.77, 1.0] {
+            let cfg = PrefetchConfig {
+                f_h,
+                ..Default::default()
+            };
+            let (pf, _) =
+                initialize_prefetcher(&part, cfg, n, &cluster, &CostModel::default(), &metrics);
+            let capacity = ((part.num_halo() as f64) * f_h).round() as usize;
+            let mut reference: Vec<u32> = (0..part.num_halo() as u32).collect();
+            reference.sort_by_key(|&h| (std::cmp::Reverse(part.halo_degree[h as usize]), h));
+            reference.truncate(capacity.min(part.num_halo()));
+            let inserted: Vec<u32> = pf.buffer.occupied().map(|(_, h)| h).collect();
+            assert_eq!(inserted, reference, "f_h={f_h}");
+        }
     }
 
     #[test]

@@ -190,15 +190,14 @@ impl Prefetcher {
         // every node's lifetime idle budget is finite and even hot nodes
         // churn out, which contradicts the paper's observed hit-rate
         // growth).
-        let mut decayed = 0usize;
-        for (slot, h) in self.buffer.occupied().collect::<Vec<_>>() {
-            if self.sampled_stamp[h as usize] != stamp {
-                self.s_e.decay(slot, self.cfg.gamma);
-                decayed += 1;
-            } else {
-                self.s_e.reset(slot);
-            }
-        }
+        let decayed = {
+            let buffer = &self.buffer;
+            let sampled_stamp = &self.sampled_stamp;
+            self.s_e
+                .decay_or_reset_prefix(buffer.len(), self.cfg.gamma, |slot| {
+                    sampled_stamp[buffer.halo_at(slot) as usize] == stamp
+                })
+        };
 
         // Line 21: S_A increments for misses (batched; the memory-
         // efficient layout binary-searches in parallel, §IV-B).
@@ -318,24 +317,37 @@ impl Prefetcher {
 
         // Assemble input features in input-node order: local rows from the
         // partition's own KVStore, halo hits from the buffer, halo misses
-        // from the fetched payload.
+        // from the fetched payload. Row-parallel: each output row selects
+        // its source slice independently and copies the same bytes the
+        // sequential assembly would, so the tensor is bitwise-identical
+        // at any thread count.
         let local_store = cluster.store(part.part_id);
-        let mut input = Vec::with_capacity(mb.input_nodes.len() * dim);
-        for &lid in &mb.input_nodes {
-            if (lid as usize) < num_local {
-                input.extend_from_slice(local_store.row(part.local_nodes[lid as usize]));
-            } else {
-                let h = lid - num_local as u32;
-                if let Some(slot) = self.buffer.slot_of(h) {
-                    // Careful: a replacement installed *this step* occupies
-                    // a slot but was fetched fresh; either path yields the
-                    // same bytes.
-                    input.extend_from_slice(self.buffer.row(slot));
-                } else {
-                    let r = miss_row[&h];
-                    input.extend_from_slice(&fetched[r * dim..(r + 1) * dim]);
-                }
-            }
+        let mut input = vec![0.0f32; mb.input_nodes.len() * dim];
+        if dim > 0 {
+            use rayon::prelude::*;
+            let buffer = &self.buffer;
+            let input_nodes = &mb.input_nodes;
+            input
+                .par_chunks_mut(dim)
+                .enumerate()
+                .for_each(|(idx, row)| {
+                    let lid = input_nodes[idx];
+                    let src: &[f32] = if (lid as usize) < num_local {
+                        local_store.row(part.local_nodes[lid as usize])
+                    } else {
+                        let h = lid - num_local as u32;
+                        if let Some(slot) = buffer.slot_of(h) {
+                            // Careful: a replacement installed *this step*
+                            // occupies a slot but was fetched fresh; either
+                            // path yields the same bytes.
+                            buffer.row(slot)
+                        } else {
+                            let r = miss_row[&h];
+                            &fetched[r * dim..(r + 1) * dim]
+                        }
+                    };
+                    row.copy_from_slice(src);
+                });
         }
         let t_copy = cost.t_copy(local_ids.len(), dim);
         metrics.record_local_copy_spanned(local_ids.len() as u64, step, serial, t_copy);
@@ -413,14 +425,25 @@ pub fn baseline_prepare(
     for (i, &lid) in halo_ids.iter().enumerate() {
         halo_row.insert(lid, i);
     }
-    let mut input = Vec::with_capacity(mb.input_nodes.len() * dim);
-    for &lid in &mb.input_nodes {
-        if (lid as usize) < num_local {
-            input.extend_from_slice(local_store.row(part.local_nodes[lid as usize]));
-        } else {
-            let r = halo_row[&lid];
-            input.extend_from_slice(&fetched[r * dim..(r + 1) * dim]);
-        }
+    // Row-parallel gather, same bytes as the sequential loop (see the
+    // prefetch-path assembly above for the determinism argument).
+    let mut input = vec![0.0f32; mb.input_nodes.len() * dim];
+    if dim > 0 {
+        use rayon::prelude::*;
+        let input_nodes = &mb.input_nodes;
+        input
+            .par_chunks_mut(dim)
+            .enumerate()
+            .for_each(|(idx, row)| {
+                let lid = input_nodes[idx];
+                let src: &[f32] = if (lid as usize) < num_local {
+                    local_store.row(part.local_nodes[lid as usize])
+                } else {
+                    let r = halo_row[&lid];
+                    &fetched[r * dim..(r + 1) * dim]
+                };
+                row.copy_from_slice(src);
+            });
     }
     let t_copy = cost.t_copy(local_ids.len(), dim);
     metrics.record_local_copy_spanned(local_ids.len() as u64, step, t_sampling, t_copy);

@@ -99,12 +99,53 @@ impl EvictionScores {
                     && protect.binary_search(&s).is_err()
             })
             .collect();
-        v.sort_by(|&a, &b| {
+        // `total_cmp` is panic-proof under NaN (unlike the previous
+        // `partial_cmp(..).unwrap()`), and the slot-id tie-break pins a
+        // total deterministic order for equal scores.
+        v.sort_unstable_by(|&a, &b| {
             self.scores[a as usize]
-                .partial_cmp(&self.scores[b as usize])
-                .unwrap()
+                .total_cmp(&self.scores[b as usize])
+                .then(a.cmp(&b))
         });
         v
+    }
+
+    /// Batched Algorithm 2 lines 6–9 over the occupied slot prefix
+    /// `0..len` (buffer occupancy is always a prefix — see
+    /// `PrefetchBuffer::check_invariants`): slots whose node was
+    /// sampled this minibatch (per `sampled`) reset to the initial
+    /// score 1, the rest decay by `gamma`. Returns how many slots
+    /// decayed. Runs on the rayon pool in deterministic chunks; each
+    /// slot is touched independently and the count is an
+    /// order-independent sum, so the result is identical at any
+    /// thread count.
+    pub fn decay_or_reset_prefix(
+        &mut self,
+        len: usize,
+        gamma: f64,
+        sampled: impl Fn(u32) -> bool + Sync,
+    ) -> usize {
+        use rayon::prelude::*;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        const BATCH: usize = 512;
+        let decayed = AtomicUsize::new(0);
+        self.scores[..len]
+            .par_chunks_mut(BATCH)
+            .enumerate()
+            .for_each(|(ci, chunk)| {
+                let mut local = 0usize;
+                for (i, s) in chunk.iter_mut().enumerate() {
+                    let slot = (ci * BATCH + i) as u32;
+                    if sampled(slot) {
+                        *s = 1.0;
+                    } else {
+                        *s *= gamma;
+                        local += 1;
+                    }
+                }
+                decayed.fetch_add(local, Ordering::Relaxed);
+            });
+        decayed.load(Ordering::Relaxed)
     }
 
     /// Heap bytes.
@@ -266,14 +307,26 @@ impl AccessScores {
                 }
             })
             .collect();
-        scored.sort_by(|a, b| {
-            b.0.partial_cmp(&a.0)
-                .unwrap()
-                .then(b.1.cmp(&a.1))
-                .then(a.2.cmp(&b.2))
-        });
         let footprint = scored.len() * std::mem::size_of::<(f32, u32, NodeId)>();
-        scored.truncate(k);
+        // Highest score first, ties by higher degree then lower id.
+        // `total_cmp` is panic-proof under NaN; the id tie-break (ids
+        // are unique) makes the order — and thus the partial
+        // selection below — fully deterministic.
+        let cmp = |a: &(f32, u32, NodeId), b: &(f32, u32, NodeId)| {
+            b.0.total_cmp(&a.0).then(b.1.cmp(&a.1)).then(a.2.cmp(&b.2))
+        };
+        if k == 0 {
+            return (Vec::new(), footprint);
+        }
+        // O(n) partial selection instead of an O(n log n) full sort:
+        // quickselect the k-th element, drop the tail, then sort only
+        // the k survivors — same output as the old full sort because
+        // the comparator is total.
+        if scored.len() > k {
+            scored.select_nth_unstable_by(k - 1, cmp);
+            scored.truncate(k);
+        }
+        scored.sort_unstable_by(cmp);
         (scored.into_iter().map(|(_, _, g)| g).collect(), footprint)
     }
 
@@ -446,5 +499,69 @@ mod tests {
         let halo = vec![1u32, 5];
         let [_, mut me] = both_layouts(halo.len(), 10);
         me.increment(&halo, 3);
+    }
+
+    /// The O(n) partial selection must reproduce the old full-sort
+    /// top-k exactly, including score ties broken by degree and id.
+    #[test]
+    fn top_k_partial_selection_matches_full_sort() {
+        let halo: Vec<u32> = (0..500u32).collect();
+        let mut s = AccessScores::new(ScoreLayout::MemEfficient, 1000, halo.len());
+        // Scores with many ties: id mod 7 misses each.
+        for &g in &halo {
+            for _ in 0..(g % 7) {
+                s.increment(&halo, g);
+            }
+        }
+        // Degrees with ties too: id mod 5.
+        let deg = |g: NodeId| g % 5;
+        for k in [0usize, 1, 3, 50, 499, 500, 1000] {
+            let fast = s.top_k_candidates(&halo, halo.iter().copied(), k, deg);
+            // Reference: the old full-sort implementation.
+            let mut scored: Vec<(f32, u32, NodeId)> = halo
+                .iter()
+                .filter_map(|&g| {
+                    let v = s.get(&halo, g);
+                    (v > 0.0).then(|| (v, deg(g), g))
+                })
+                .collect();
+            scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(b.1.cmp(&a.1)).then(a.2.cmp(&b.2)));
+            scored.truncate(k);
+            let reference: Vec<NodeId> = scored.into_iter().map(|(_, _, g)| g).collect();
+            assert_eq!(fast, reference, "k={k}");
+        }
+    }
+
+    #[test]
+    fn decay_or_reset_prefix_matches_singles() {
+        let gamma = 0.75f64;
+        let n = 3000usize; // several 512-wide parallel batches
+        let mut batched = EvictionScores::new(n);
+        let mut singles = EvictionScores::new(n);
+        // Give every slot a distinct starting score.
+        for s in 0..n as u32 {
+            batched.set(s, 1.0 + f64::from(s) * 1e-3);
+            singles.set(s, 1.0 + f64::from(s) * 1e-3);
+        }
+        let sampled = |slot: u32| slot.is_multiple_of(3);
+        let prefix = 2500usize;
+        let decayed = batched.decay_or_reset_prefix(prefix, gamma, sampled);
+        let mut expect_decayed = 0usize;
+        for s in 0..prefix as u32 {
+            if sampled(s) {
+                singles.reset(s);
+            } else {
+                singles.decay(s, gamma);
+                expect_decayed += 1;
+            }
+        }
+        assert_eq!(decayed, expect_decayed);
+        for s in 0..n as u32 {
+            assert_eq!(
+                batched.get(s).to_bits(),
+                singles.get(s).to_bits(),
+                "slot {s}"
+            );
+        }
     }
 }

@@ -13,7 +13,7 @@
 //! Chrome/Perfetto `*.trace.json` per run (open at <https://ui.perfetto.dev>)
 //! plus an `index.json` mapping files to experiments.
 
-use mgnn_bench::{experiments, Opts};
+use mgnn_bench::{bench, experiments, Opts};
 use mgnn_graph::Scale;
 use serde::{Serialize, Value};
 use std::path::PathBuf;
@@ -21,7 +21,8 @@ use std::path::PathBuf;
 fn usage() -> ! {
     eprintln!(
         "usage: repro --experiment <{}|all> [--scale unit|small|bench] [--epochs N] [--batch N] \
-         [--hidden N] [--full] [--seed N] [--trace-out DIR] [--json-out FILE]",
+         [--hidden N] [--full] [--seed N] [--trace-out DIR] [--json-out FILE] \
+         [--bench-out FILE] [--bench-iters N]",
         experiments::names().join("|")
     );
     std::process::exit(2)
@@ -29,16 +30,18 @@ fn usage() -> ! {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut experiment = String::from("all");
+    let mut experiment: Option<String> = None;
     let mut opts = Opts::standard();
     let mut trace_out: Option<PathBuf> = None;
     let mut json_out: Option<PathBuf> = None;
+    let mut bench_out: Option<PathBuf> = None;
+    let mut bench_iters = 5usize;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--experiment" | "-e" => {
                 i += 1;
-                experiment = args.get(i).cloned().unwrap_or_else(|| usage());
+                experiment = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
             }
             "--scale" => {
                 i += 1;
@@ -89,6 +92,19 @@ fn main() {
                     args.get(i).cloned().unwrap_or_else(|| usage()),
                 ));
             }
+            "--bench-out" => {
+                i += 1;
+                bench_out = Some(PathBuf::from(
+                    args.get(i).cloned().unwrap_or_else(|| usage()),
+                ));
+            }
+            "--bench-iters" => {
+                i += 1;
+                bench_iters = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
             "--full" => opts.full = true,
             "--help" | "-h" => usage(),
             other => {
@@ -99,6 +115,18 @@ fn main() {
         i += 1;
     }
 
+    // Kernel benchmarks run first (and alone, unless an experiment was
+    // explicitly requested alongside them).
+    if let Some(file) = &bench_out {
+        let doc = bench::run_all(opts.seed, bench_iters);
+        write_or_die(file, &serde_json::to_string_pretty(&doc));
+        eprintln!("[bench timings written to {}]", file.display());
+        if experiment.is_none() {
+            return;
+        }
+    }
+
+    let experiment = experiment.unwrap_or_else(|| String::from("all"));
     let list: Vec<&experiments::Experiment> = if experiment == "all" {
         experiments::ALL.iter().collect()
     } else if let Some(e) = experiments::find(&experiment) {

@@ -81,27 +81,53 @@ impl Tensor {
         self.data[i * self.cols + j] = v;
     }
 
-    /// Matrix product `self · rhs` (`m×k · k×n → m×n`), parallel over rows.
+    /// Rows per parallel row block in the matmul family. Blocks keep
+    /// the streamed `rhs` panel hot in cache across nearby output rows
+    /// and amortize task dispatch.
+    const MATMUL_RB: usize = 16;
+
+    /// `k`-block width in [`Tensor::matmul`]: one `KB×n` panel of
+    /// `rhs` (256·n·4 bytes) is reused by all rows of a row block
+    /// before moving on.
+    const MATMUL_KB: usize = 256;
+
+    /// Matrix product `self · rhs` (`m×k · k×n → m×n`), parallel over
+    /// row blocks and cache-blocked over `k`.
     ///
-    /// Inner loop is written `i-k-j` so the `rhs` row is streamed
-    /// contiguously (cache-friendly; see the Rust Performance Book's advice
-    /// on access order).
+    /// The inner loop is `i-k-j` so the `rhs` row is streamed
+    /// contiguously (cache-friendly; see the Rust Performance Book's
+    /// advice on access order). Each output element still accumulates
+    /// in ascending-`k` order — `k`-blocking reorders loops, not the
+    /// per-element sum — so results are bitwise-identical to the
+    /// untiled kernel at any thread count.
     pub fn matmul(&self, rhs: &Tensor) -> Tensor {
         assert_eq!(self.cols, rhs.rows, "matmul shape mismatch");
         let (m, k, n) = (self.rows, self.cols, rhs.cols);
         let mut out = vec![0.0f32; m * n];
-        out.par_chunks_mut(n).enumerate().for_each(|(i, orow)| {
-            let arow = &self.data[i * k..(i + 1) * k];
-            for (kk, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
+        if m == 0 || n == 0 {
+            return Tensor::from_vec(m, n, out);
+        }
+        out.par_chunks_mut(n * Self::MATMUL_RB)
+            .enumerate()
+            .for_each(|(blk, oblock)| {
+                let i0 = blk * Self::MATMUL_RB;
+                for kb in (0..k).step_by(Self::MATMUL_KB) {
+                    let kend = (kb + Self::MATMUL_KB).min(k);
+                    for (r, orow) in oblock.chunks_mut(n).enumerate() {
+                        let i = i0 + r;
+                        let arow = &self.data[i * k..(i + 1) * k];
+                        for (kk, &a) in arow[kb..kend].iter().enumerate() {
+                            if a == 0.0 {
+                                continue;
+                            }
+                            let brow = &rhs.data[(kb + kk) * n..(kb + kk + 1) * n];
+                            for (o, &b) in orow.iter_mut().zip(brow) {
+                                *o += a * b;
+                            }
+                        }
+                    }
                 }
-                let brow = &rhs.data[kk * n..(kk + 1) * n];
-                for (o, &b) in orow.iter_mut().zip(brow) {
-                    *o += a * b;
-                }
-            }
-        });
+            });
         Tensor::from_vec(m, n, out)
     }
 
@@ -143,21 +169,30 @@ impl Tensor {
     }
 
     /// `self · rhsᵀ` (`m×k · n×k ᵀ → m×n`) — the gradient-of-input product.
+    ///
+    /// Row-block parallel; each dot product uses a fixed 4-lane
+    /// unrolled accumulation (combined as `(s0+s1)+(s2+s3)+tail`), so
+    /// the result is deterministic at any thread count.
     pub fn matmul_t(&self, rhs: &Tensor) -> Tensor {
         assert_eq!(self.cols, rhs.cols, "matmul_t shape mismatch");
         let (m, k, n) = (self.rows, self.cols, rhs.rows);
         let mut out = vec![0.0f32; m * n];
-        out.par_chunks_mut(n).enumerate().for_each(|(i, orow)| {
-            let arow = &self.data[i * k..(i + 1) * k];
-            for (j, o) in orow.iter_mut().enumerate() {
-                let brow = &rhs.data[j * k..(j + 1) * k];
-                let mut s = 0.0f32;
-                for (&a, &b) in arow.iter().zip(brow) {
-                    s += a * b;
+        if m == 0 || n == 0 {
+            return Tensor::from_vec(m, n, out);
+        }
+        out.par_chunks_mut(n * Self::MATMUL_RB)
+            .enumerate()
+            .for_each(|(blk, oblock)| {
+                let i0 = blk * Self::MATMUL_RB;
+                for (r, orow) in oblock.chunks_mut(n).enumerate() {
+                    let i = i0 + r;
+                    let arow = &self.data[i * k..(i + 1) * k];
+                    for (j, o) in orow.iter_mut().enumerate() {
+                        let brow = &rhs.data[j * k..(j + 1) * k];
+                        *o = dot_unrolled(arow, brow);
+                    }
                 }
-                *o = s;
-            }
-        });
+            });
         Tensor::from_vec(m, n, out)
     }
 
@@ -236,6 +271,27 @@ impl Tensor {
         }
         (a, b)
     }
+}
+
+/// Dot product with four independent accumulator lanes and a fixed
+/// combine order `(s0+s1)+(s2+s3)+tail` — deterministic and unlocks
+/// instruction-level parallelism the single-accumulator loop serializes
+/// on the FP add latency chain.
+#[inline]
+fn dot_unrolled(a: &[f32], b: &[f32]) -> f32 {
+    let mut lanes = [0.0f32; 4];
+    let mut ca = a.chunks_exact(4);
+    let mut cb = b.chunks_exact(4);
+    for (xs, ys) in (&mut ca).zip(&mut cb) {
+        for l in 0..4 {
+            lanes[l] += xs[l] * ys[l];
+        }
+    }
+    let mut tail = 0.0f32;
+    for (&x, &y) in ca.remainder().iter().zip(cb.remainder()) {
+        tail += x * y;
+    }
+    (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]) + tail
 }
 
 impl fmt::Debug for Tensor {
@@ -331,5 +387,68 @@ mod tests {
         let b = Tensor::zeros(5, 2);
         let c = a.matmul(&b);
         assert_eq!(c.shape(), (0, 2));
+    }
+
+    /// Pseudo-random but deterministic fill (no RNG dep in this crate).
+    fn filled(rows: usize, cols: usize, salt: u32) -> Tensor {
+        let data = (0..rows * cols)
+            .map(|i| {
+                let h = (i as u32).wrapping_add(salt).wrapping_mul(2654435761);
+                ((h % 97) as f32 - 48.0) / 16.0
+            })
+            .collect();
+        Tensor::from_vec(rows, cols, data)
+    }
+
+    /// The tiled kernel must be *bitwise* identical to the naive
+    /// ascending-k triple loop — k-blocking reorders loops, not the
+    /// per-element accumulation — at sizes straddling the RB=16 and
+    /// KB=256 block boundaries.
+    #[test]
+    fn tiled_matmul_bitwise_matches_naive() {
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (15, 17, 7),
+            (16, 256, 5),
+            (17, 257, 33),
+            (40, 300, 3),
+        ] {
+            let a = filled(m, k, 1);
+            let b = filled(k, n, 2);
+            let mut naive = vec![0.0f32; m * n];
+            for i in 0..m {
+                for kk in 0..k {
+                    let av = a.get(i, kk);
+                    if av == 0.0 {
+                        continue;
+                    }
+                    for j in 0..n {
+                        naive[i * n + j] += av * b.get(kk, j);
+                    }
+                }
+            }
+            let tiled = a.matmul(&b);
+            let same = tiled
+                .data()
+                .iter()
+                .zip(&naive)
+                .all(|(x, y)| x.to_bits() == y.to_bits());
+            assert!(same, "tiled matmul diverged at m={m} k={k} n={n}");
+        }
+    }
+
+    /// Thread-count independence: the matmul family must return
+    /// bitwise-identical outputs when forced onto one thread.
+    #[test]
+    fn matmul_family_identical_across_thread_caps() {
+        let a = filled(37, 129, 3);
+        let b = filled(129, 19, 4);
+        let at = a.transpose(); // 129×37, so atᵀ·b is valid for t_matmul
+        let bt = b.transpose(); // 19×129, so a·btᵀ is valid for matmul_t
+        let (mm, tm, mt) =
+            rayon::pool::with_max_threads(1, || (a.matmul(&b), at.t_matmul(&b), a.matmul_t(&bt)));
+        assert_eq!(mm, a.matmul(&b));
+        assert_eq!(tm, at.t_matmul(&b));
+        assert_eq!(mt, a.matmul_t(&bt));
     }
 }
