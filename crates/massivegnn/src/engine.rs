@@ -28,7 +28,7 @@ use mgnn_model::{
 };
 use mgnn_net::clock::PipelineClock;
 use mgnn_net::metrics::MetricsSnapshot;
-use mgnn_net::{Backend, CommMetrics, CostModel, SimClock, SimCluster};
+use mgnn_net::{Backend, CommMetrics, CostModel, FaultProfile, RetryPolicy, SimClock, SimCluster};
 use mgnn_obs::{Lane, Phase, SpanRecorder, StepAnchor, StepPoint, TrainerTrace};
 use mgnn_partition::{
     build_local_partitions, multilevel_partition, split_train_nodes, LocalPartition,
@@ -113,6 +113,15 @@ pub struct EngineConfig {
     /// exists anywhere and the report is bitwise-identical to an untraced
     /// run.
     pub trace: bool,
+    /// Deterministic fault profile injected into every RPC server.
+    /// `None` disables the chaos machinery entirely; a profile whose
+    /// probabilities are all zero (`FaultProfile::off`) keeps the
+    /// machinery armed but produces a bitwise-identical report to
+    /// `None` — the identity tests pin exactly that.
+    pub fault: Option<FaultProfile>,
+    /// Retry/backoff policy failed pulls follow when `fault` is active.
+    /// Backoff is charged to the *simulated* clock, never slept.
+    pub retry: RetryPolicy,
 }
 
 impl Default for EngineConfig {
@@ -136,6 +145,8 @@ impl Default for EngineConfig {
             train_math: false,
             parallel: false,
             trace: false,
+            fault: None,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -200,6 +211,9 @@ impl Breakdown {
             Phase::Copy => Some(self.copy_s),
             Phase::Train => Some(self.train_s),
             Phase::Allreduce => None,
+            // Fault time is already folded into `rpc_s`; its lane-level
+            // span is an out-of-band annotation, not a breakdown field.
+            Phase::Fault => None,
         }
     }
 }
@@ -503,10 +517,12 @@ impl Engine {
                 .into_iter()
                 .map(Arc::new)
                 .collect();
-        let cluster = Arc::new(SimCluster::new(
+        let cluster = Arc::new(SimCluster::with_faults(
             &dataset.features,
             &partitioning.assignment,
             cfg.num_parts,
+            cfg.fault.clone(),
+            cfg.retry.clone(),
         ));
 
         // Second-level split: train nodes of each partition among its
@@ -1625,5 +1641,147 @@ mod tests {
         let pb: usize = baseline.trainers.iter().map(|t| t.peak_bytes).sum();
         let pp: usize = prefetch.trainers.iter().map(|t| t.peak_bytes).sum();
         assert!(pp > pb, "prefetch should allocate buffer memory");
+    }
+
+    /// Retry policy whose timeout is far beyond any healthy reply, so a
+    /// loaded test machine can never produce a spurious timeout.
+    fn generous_retry() -> RetryPolicy {
+        RetryPolicy {
+            timeout: std::time::Duration::from_secs(120),
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The faults-disabled identity oracle: arming the chaos machinery
+    /// with an all-zero profile must leave every report field bitwise
+    /// unchanged against a `fault: None` run — timeouts, Result plumbing
+    /// and outcome accounting cost exactly nothing when nothing fires.
+    #[test]
+    fn faultless_chaos_config_is_bitwise_identical() {
+        for parallel in [false, true] {
+            for mode in [Mode::Baseline, prefetch_mode()] {
+                let mut cfg = base_cfg();
+                cfg.mode = mode;
+                cfg.parallel = parallel;
+                cfg.train_math = true;
+                let plain = Engine::build(cfg.clone()).run();
+                cfg.fault = Some(FaultProfile::off(0xC4A0));
+                cfg.retry = generous_retry();
+                let armed = Engine::build(cfg).run();
+                assert!(!armed.aggregate_metrics().had_faults());
+                assert_reports_identical(&plain, &armed);
+            }
+        }
+    }
+
+    /// A server crash mid-run is fully absorbed: the cluster respawns it
+    /// from the resident KvStore, retries return the exact bytes, and
+    /// training is bitwise-unaffected — only simulated time pays.
+    #[test]
+    fn crash_only_chaos_recovers_and_trains_identically() {
+        let mut cfg = base_cfg();
+        cfg.mode = prefetch_mode();
+        cfg.train_math = true;
+        let clean = Engine::build(cfg.clone()).run();
+        cfg.fault = Some(FaultProfile {
+            crash_part: Some(0),
+            crash_after: 8,
+            ..FaultProfile::off(7)
+        });
+        cfg.retry = generous_retry();
+        let crashed = Engine::build(cfg).run();
+        let agg = crashed.aggregate_metrics();
+        assert!(agg.server_respawns >= 1, "crash must trigger a respawn");
+        assert!(agg.rpc_disconnects >= 1);
+        assert!(agg.rpc_retries >= 1);
+        assert_eq!(
+            agg.degraded_rows, 0,
+            "respawn + retry must deliver every row"
+        );
+        assert_eq!(agg.stale_served, 0);
+        assert_eq!(clean.final_params, crashed.final_params);
+        assert_eq!(clean.epoch_loss, crashed.epoch_loss);
+        let clean_rpc: f64 = clean.trainers.iter().map(|t| t.breakdown.rpc_s).sum();
+        let crashed_rpc: f64 = crashed.trainers.iter().map(|t| t.breakdown.rpc_s).sum();
+        assert!(
+            crashed_rpc > clean_rpc,
+            "retry charges must show in rpc time: {crashed_rpc} vs {clean_rpc}"
+        );
+    }
+
+    /// Full chaos mix (drops + delays + truncations + one crash) on the
+    /// sequential engine: the run completes without panicking and replays
+    /// bit-for-bit from the same fault seed.
+    #[test]
+    fn seeded_chaos_replays_bit_for_bit() {
+        let mut cfg = base_cfg();
+        cfg.mode = prefetch_mode();
+        cfg.epochs = 1;
+        cfg.fault = Some(FaultProfile {
+            drop_prob: 0.02,
+            delay_prob: 0.10,
+            delay_factor: 3,
+            truncate_prob: 0.02,
+            crash_part: Some(1),
+            crash_after: 8,
+            ..FaultProfile::off(99)
+        });
+        cfg.retry = RetryPolicy {
+            timeout: std::time::Duration::from_millis(500),
+            ..RetryPolicy::default()
+        };
+        let a = Engine::build(cfg.clone()).run();
+        let b = Engine::build(cfg).run();
+        assert!(
+            a.aggregate_metrics().had_faults(),
+            "chaos mix fired nothing"
+        );
+        assert_reports_identical(&a, &b);
+    }
+
+    /// Fault lane reconciliation: with delay-only chaos the data path is
+    /// untouched (identical counts), the extra rpc time equals the fault
+    /// spans exactly, and every fault span lands on the fault lane.
+    #[test]
+    fn chaos_fault_spans_reconcile_with_breakdown() {
+        let mut cfg = base_cfg();
+        cfg.mode = prefetch_mode();
+        cfg.trace = true;
+        cfg.epochs = 1;
+        let clean = Engine::build(cfg.clone()).run();
+        cfg.fault = Some(FaultProfile {
+            delay_prob: 1.0,
+            delay_factor: 4,
+            ..FaultProfile::off(5)
+        });
+        cfg.retry = generous_retry();
+        let chaos = Engine::build(cfg).run();
+        let total_steps = chaos.steps_per_epoch as u64;
+        for ((ct, xt), trace) in clean
+            .trainers
+            .iter()
+            .zip(&chaos.trainers)
+            .zip(&chaos.traces)
+        {
+            // Delays deliver full data: exact counts identical.
+            assert_eq!(ct.metrics.buffer_hits, xt.metrics.buffer_hits);
+            assert_eq!(ct.metrics.buffer_misses, xt.metrics.buffer_misses);
+            assert!(xt.metrics.rpc_delays > 0);
+            let f = trace.phase(Phase::Fault).expect("fault spans recorded");
+            assert!(f.count >= 1 && f.count <= total_steps, "count {}", f.count);
+            assert!(f.count <= xt.metrics.rpc_delays);
+            assert!(f.sum_s > 0.0);
+            // The whole fault charge is folded into rpc_s — span sum and
+            // breakdown delta agree to fp noise.
+            let delta = xt.breakdown.rpc_s - ct.breakdown.rpc_s;
+            assert!(
+                (delta - f.sum_s).abs() < 1e-9,
+                "fault spans {} vs rpc delta {delta}",
+                f.sum_s
+            );
+            for ev in trace.events.iter().filter(|e| e.phase == Phase::Fault) {
+                assert_eq!(ev.lane, Lane::Fault);
+            }
+        }
     }
 }

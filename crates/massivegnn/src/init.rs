@@ -71,13 +71,26 @@ pub fn initialize_prefetcher(
 
     // Bulk fetch (line 18: RPC).
     let globals: Vec<u32> = order.iter().map(|&h| part.halo_nodes[h as usize]).collect();
-    let (fetched, _) = cluster.pull_grouped(&globals);
-    let fetch_s = cost.t_rpc(capacity, dim);
+    let (fetched, outcome) = cluster.pull_grouped_checked(&globals);
+    // Fault charge is 0.0 on the fault-free path (see Prefetcher::prepare).
+    let fetch_s = cost.t_rpc(capacity, dim) + outcome.charge_s(cost, dim, cluster.retry_policy());
     metrics.record_rpc(capacity as u64, dim);
+    metrics.record_pull_outcome(&outcome);
+    if !outcome.failed_rows.is_empty() {
+        // Rows a dead partition never delivered are simply not buffered
+        // (buffering zeros would serve wrong data on every later hit);
+        // those nodes stay ordinary misses and are fetched the first
+        // time the sampler needs them, so init stays infallible.
+        metrics.record_degradation(0, outcome.failed_rows.len() as u64);
+    }
+    let row_failed = |r: usize| outcome.failed_rows.binary_search(&r).is_ok();
 
     // Populate buffer.
     let mut buffer = PrefetchBuffer::new(num_halo, capacity, dim);
     for (i, &h) in order.iter().enumerate() {
+        if row_failed(i) {
+            continue;
+        }
         buffer.insert(h, &fetched[i * dim..(i + 1) * dim]);
     }
     let populate_s = cost.t_copy(capacity, dim);
@@ -85,7 +98,10 @@ pub fn initialize_prefetcher(
     // Scoreboards (lines 17, 19–21).
     let s_e = EvictionScores::new(capacity);
     let mut s_a = AccessScores::new(cfg.layout, num_global_nodes, num_halo);
-    for &h in &order {
+    for (i, &h) in order.iter().enumerate() {
+        if row_failed(i) {
+            continue;
+        }
         s_a.set(&part.halo_nodes, part.halo_nodes[h as usize], -1.0);
     }
     let sb_cells = match cfg.layout {
@@ -94,13 +110,14 @@ pub fn initialize_prefetcher(
     };
     let scoreboard_s = cost.t_scoring(sb_cells, cfg.layout == ScoreLayout::MemEfficient, num_halo);
 
+    let buffered = buffer.len();
     let pf = Prefetcher::from_parts(cfg, buffer, s_e, s_a, num_halo);
     let report = InitReport {
         selection_s,
         fetch_s,
         populate_s,
         scoreboard_s,
-        buffer_nodes: capacity,
+        buffer_nodes: buffered,
         persistent_bytes: pf.heap_bytes(),
     };
     (pf, report)

@@ -72,4 +72,5 @@ pub mod tradeoff;
 pub use buffer::PrefetchBuffer;
 pub use config::{PrefetchConfig, ScoreLayout};
 pub use engine::{Engine, EngineConfig, Mode, RunReport};
+pub use mgnn_net::{FaultProfile, RetryPolicy};
 pub use prefetcher::Prefetcher;

@@ -12,6 +12,12 @@
 //! queue; when preparation is slower, the caller blocks in
 //! [`PrefetchPipeline::next`] — exactly the stall the overlap-efficiency
 //! metric measures.
+//!
+//! Preparation is deliberately *infallible* even under a fault profile:
+//! RPC failures are absorbed inside [`Prefetcher::prepare`]'s
+//! degradation ladder (retry → stale buffered row → zero-fill), so the
+//! prepare thread never dies mid-run and the queue protocol needs no
+//! error variant.
 
 use crate::prefetcher::{Prefetcher, PreparedBatch};
 use mgnn_net::{CommMetrics, CostModel, SimCluster};

@@ -8,6 +8,14 @@
 //! features over RPC, and on every Δ-th step runs `EVICT_AND_REPLACE`:
 //! buffered slots with `S_E < α` are evicted and replaced by the
 //! equally-many highest-`S_A` missing halo nodes, swapping scores.
+//!
+//! Under a fault profile the fetch can partially fail even after the
+//! cluster's retry ladder. Preparation stays infallible through graceful
+//! degradation: a failed *replacement* fetch is cancelled (the stale
+//! resident keeps serving and the candidate's `S_A` keeps accumulating),
+//! a failed *miss* fetch serves a zero row, and both are reported in
+//! [`PrepareCounts`]/[`CommMetrics`]. Fault time (injected delays,
+//! retries, backoff) is charged to `t_rpc`, so Eq. 3/6 see the loss.
 
 use crate::buffer::PrefetchBuffer;
 use crate::config::{PrefetchConfig, ScoreLayout};
@@ -63,6 +71,12 @@ pub struct PrepareCounts {
     pub evicted: usize,
     /// Replacement nodes fetched this step.
     pub replaced: usize,
+    /// Missed halo nodes whose fetch exhausted every retry and were
+    /// served as zero rows (degradation rung 3).
+    pub degraded: usize,
+    /// Eviction replacements cancelled because their fetch failed; the
+    /// stale resident row kept its slot (degradation rung 2).
+    pub stale: usize,
 }
 
 /// A minibatch ready for training: blocks + gathered input features +
@@ -216,7 +230,6 @@ impl Prefetcher {
 
         // Lines 12–17: Δ-periodic evict-and-replace.
         let mut t_evict = 0.0;
-        let mut evicted_count = 0usize;
         let mut replacements: Vec<(u32, u32)> = Vec::new(); // (slot, new halo idx)
         if self.cfg.eviction
             && self.cfg.delta > 0
@@ -253,7 +266,6 @@ impl Prefetcher {
                 let new_h = halo_nodes.binary_search(&new_g).unwrap() as u32;
                 replacements.push((slot, new_h));
             }
-            evicted_count = k;
             // Eviction-round overhead: scan every slot plus every halo
             // candidate (the "extra work" of §IV-E).
             t_evict = cost.t_lookup(self.buffer.capacity() + part.num_halo());
@@ -263,7 +275,6 @@ impl Prefetcher {
             // bounded by the buffer capacity.
             let transient = scoring_bytes + evict_slots.len() * 4 + replace_globals.len() * 8;
             self.peak_transient_bytes = self.peak_transient_bytes.max(transient);
-            metrics.record_eviction(k as u64, k as u64);
         }
 
         // Lines 15 + 22: one bulk fetch of miss + replacement features.
@@ -280,8 +291,14 @@ impl Prefetcher {
                 fetch_ids.push(halo_nodes[new_h as usize]);
             }
         }
-        let (fetched, _rpc_rounds) = cluster.pull_grouped(&fetch_ids);
-        let t_rpc = cost.t_rpc(fetch_ids.len(), dim);
+        let (fetched, outcome) = cluster.pull_grouped_checked(&fetch_ids);
+        // Faults charge simulated time on top of the ideal RPC cost:
+        // injected delays multiply the request's latency and every retry
+        // re-pays it plus deterministic backoff (Eq. 6 still sees the
+        // loss through `t_prepare`). `charge_s` is exactly 0.0 on the
+        // fault-free path, so `t_rpc` is bitwise-unchanged there.
+        let t_fault = outcome.charge_s(cost, dim, cluster.retry_policy());
+        let t_rpc = cost.t_rpc(fetch_ids.len(), dim) + t_fault;
         // Spans of this preparation, at their Eq. 3 offsets within the
         // prepare window: the serial prefix runs sampling → lookup →
         // scoring → evict, then RPC and copy overlap at its end. No-ops
@@ -298,10 +315,26 @@ impl Prefetcher {
         let serial = t_sampling + t_lookup + t_scoring + t_evict;
         metrics.record_rpc_spanned(fetch_ids.len() as u64, dim, step, serial, t_rpc);
         metrics.record_lookup(hits.len() as u64, misses.len() as u64);
+        metrics.record_pull_outcome(&outcome);
+        if t_fault > 0.0 {
+            metrics.fault_span(step, serial, t_fault);
+        }
 
-        // Lines 16–17 + score swap (§IV-B): install replacements.
+        // Lines 16–17 + score swap (§IV-B): install replacements. A
+        // replacement whose fetch row exhausted every retry is cancelled
+        // — installing zeros would poison the buffer for every later
+        // step — so the stale resident keeps the slot and the
+        // candidate's accumulated S_A survives (it stays miss-pending
+        // and is re-tried on a later eviction round).
+        let row_failed = |r: usize| outcome.failed_rows.binary_search(&r).is_ok();
+        let mut installed = 0usize;
+        let mut stale = 0usize;
         for (i, &(slot, new_h)) in replacements.iter().enumerate() {
             let r = replacement_rows[i];
+            if row_failed(r) {
+                stale += 1;
+                continue;
+            }
             let feat = &fetched[r * dim..(r + 1) * dim];
             let old_h = self.buffer.replace(slot, new_h, feat);
             let old_g = halo_nodes[old_h as usize];
@@ -313,6 +346,19 @@ impl Prefetcher {
             self.s_a.set(halo_nodes, old_g, last_se as f32);
             self.s_e.set(slot, last_sa);
             self.s_a.set(halo_nodes, new_g, -1.0);
+            installed += 1;
+        }
+        metrics.record_eviction(installed as u64, installed as u64);
+        // Missed nodes on a failed partition come back as zero rows —
+        // the final degradation rung. Their S_A increments already
+        // happened above, so the sampler's access history stays exact.
+        let degraded = outcome
+            .failed_rows
+            .iter()
+            .filter(|&&r| r < misses.len())
+            .count();
+        if stale > 0 || degraded > 0 {
+            metrics.record_degradation(stale as u64, degraded as u64);
         }
 
         // Assemble input features in input-node order: local rows from the
@@ -363,8 +409,10 @@ impl Prefetcher {
             halo: halo_ids.len(),
             hits: hits.len(),
             misses: misses.len(),
-            evicted: evicted_count,
-            replaced: replacements.len(),
+            evicted: installed,
+            replaced: installed,
+            degraded,
+            stale,
         };
         let timing = PrepareTiming {
             t_sampling,
@@ -408,8 +456,11 @@ pub fn baseline_prepare(
         .iter()
         .map(|&lid| part.halo_nodes[(lid - num_local as u32) as usize])
         .collect();
-    let (fetched, _) = cluster.pull_grouped(&fetch_ids);
-    let t_rpc = cost.t_rpc(fetch_ids.len(), dim);
+    let (fetched, outcome) = cluster.pull_grouped_checked(&fetch_ids);
+    // Same fault-time charging as the prefetch path; exactly 0.0 when
+    // nothing fired.
+    let t_fault = outcome.charge_s(cost, dim, cluster.retry_policy());
+    let t_rpc = cost.t_rpc(fetch_ids.len(), dim) + t_fault;
     // Baseline has no buffer work, but zero-length spans for the
     // prefetch-only phases keep per-phase histogram counts equal to the
     // step count in both modes.
@@ -418,6 +469,15 @@ pub fn baseline_prepare(
     metrics.span(step, Phase::Scoring, t_sampling, 0.0);
     metrics.span(step, Phase::Evict, t_sampling, 0.0);
     metrics.record_rpc_spanned(fetch_ids.len() as u64, dim, step, t_sampling, t_rpc);
+    metrics.record_pull_outcome(&outcome);
+    if t_fault > 0.0 {
+        metrics.fault_span(step, t_sampling, t_fault);
+    }
+    // No buffer to fall back on: every failed row is a zero-filled input
+    // row (the baseline skips degradation rung 2 entirely).
+    if !outcome.failed_rows.is_empty() {
+        metrics.record_degradation(0, outcome.failed_rows.len() as u64);
+    }
 
     let local_store = cluster.store(part.part_id);
     let mut halo_row: std::collections::HashMap<u32, usize> =
@@ -461,6 +521,8 @@ pub fn baseline_prepare(
         misses: halo_ids.len(),
         evicted: 0,
         replaced: 0,
+        degraded: outcome.failed_rows.len(),
+        stale: 0,
     };
     let timing = PrepareTiming {
         t_sampling,

@@ -194,6 +194,39 @@ fn bench_top_k(iters: usize) -> Value {
     ])
 }
 
+/// Fault-free bulk pull over the `Result`-based RPC path (PR4): the
+/// whole checked round-trip — group by owner, issue, block on replies,
+/// scatter rows, fold the (empty) `PullOutcome`. With no fault profile
+/// armed the client blocks exactly like the pre-PR4 panicking path, so
+/// this kernel prices the error plumbing itself; compare against the
+/// same kernel in BENCH_PR3-era documents to confirm the conversion is
+/// within noise.
+fn bench_pull_grouped(iters: usize, seed: u64) -> Value {
+    let g = erdos_renyi(4000, 40_000, seed);
+    let p = multilevel_partition(&g, 4, seed);
+    let dim = 64usize;
+    let feats = FeatureStore::synthesize(&g, dim, 8, 3);
+    let cluster = SimCluster::new(&feats, &p.assignment, 4);
+    // Every node once, shuffled deterministically across owners.
+    let ids: Vec<NodeId> = (0..g.num_nodes() as u32)
+        .map(|i| i.wrapping_mul(2_654_435_761) % g.num_nodes() as u32)
+        .collect();
+    let (seq, par) = seq_vs_par(iters, || {
+        let (rows, outcome) = cluster.pull_grouped_checked(&ids);
+        assert!(!outcome.had_faults(), "fault-free kernel saw faults");
+        std::hint::black_box(rows);
+    });
+    kernel_value(
+        vec![
+            ("nodes", (ids.len() as u64).to_value()),
+            ("dim", (dim as u64).to_value()),
+            ("parts", 4u64.to_value()),
+        ],
+        seq,
+        par,
+    )
+}
+
 /// One full prefetching minibatch `prepare` (sample → probe → score →
 /// gather) on a synthetic partition.
 fn bench_prepare(iters: usize, seed: u64) -> Value {
@@ -261,6 +294,8 @@ pub fn run_all(seed: u64, iters: usize) -> Value {
     eprintln!("[bench: increment_batch done]");
     let top_k = bench_top_k(iters);
     eprintln!("[bench: top_k done]");
+    let pull_grouped = bench_pull_grouped(iters, seed);
+    eprintln!("[bench: pull_grouped done]");
     let prepare = bench_prepare(iters, seed);
     eprintln!("[bench: prepare done]");
     let end_to_end = bench_end_to_end(seed);
@@ -278,6 +313,7 @@ pub fn run_all(seed: u64, iters: usize) -> Value {
                 ("probe_batch", probe),
                 ("increment_batch", increment),
                 ("top_k", top_k),
+                ("pull_grouped", pull_grouped),
                 ("prepare", prepare),
             ]),
         ),
@@ -308,6 +344,7 @@ mod tests {
             "\"probe_batch\"",
             "\"increment_batch\"",
             "\"top_k\"",
+            "\"pull_grouped\"",
             "\"prepare\"",
             "\"end_to_end\"",
             "\"speedup\"",

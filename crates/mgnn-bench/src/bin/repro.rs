@@ -13,8 +13,9 @@
 //! Chrome/Perfetto `*.trace.json` per run (open at <https://ui.perfetto.dev>)
 //! plus an `index.json` mapping files to experiments.
 
-use mgnn_bench::{bench, experiments, Opts};
+use mgnn_bench::{bench, experiments, figures::chaos, Opts};
 use mgnn_graph::Scale;
+use mgnn_net::FaultProfile;
 use serde::{Serialize, Value};
 use std::path::PathBuf;
 
@@ -22,8 +23,10 @@ fn usage() -> ! {
     eprintln!(
         "usage: repro --experiment <{}|all> [--scale unit|small|bench] [--epochs N] [--batch N] \
          [--hidden N] [--full] [--seed N] [--trace-out DIR] [--json-out FILE] \
-         [--bench-out FILE] [--bench-iters N]",
-        experiments::names().join("|")
+         [--bench-out FILE] [--bench-iters N] \
+         [--fault-profile <{}>] [--fault-seed N]",
+        experiments::names().join("|"),
+        FaultProfile::NAMES.join("|")
     );
     std::process::exit(2)
 }
@@ -105,6 +108,22 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage());
             }
+            "--fault-profile" => {
+                i += 1;
+                let name = args.get(i).cloned().unwrap_or_else(|| usage());
+                if FaultProfile::named(&name, 0).is_none() {
+                    eprintln!("unknown fault profile: {name}");
+                    usage()
+                }
+                opts.fault_profile = Some(name);
+            }
+            "--fault-seed" => {
+                i += 1;
+                opts.fault_seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
             "--full" => opts.full = true,
             "--help" | "-h" => usage(),
             other => {
@@ -152,9 +171,14 @@ fn main() {
 
     let mut experiment_values: Vec<Value> = Vec::new();
     let mut index_rows: Vec<Value> = Vec::new();
+    let mut chaos_diverged = false;
     for exp in list {
         let t0 = std::time::Instant::now();
-        println!("{}", (exp.run)(&opts));
+        let rendered = (exp.run)(&opts);
+        println!("{rendered}");
+        // The chaos experiment gates CI: a degraded run whose loss left
+        // the tolerance band marks its verdict line and fails the CLI.
+        chaos_diverged |= rendered.contains(chaos::DIVERGED_MARKER);
         eprintln!("[{} took {:.1?}]\n", exp.name, t0.elapsed());
         if !capture {
             continue;
@@ -200,10 +224,21 @@ fn main() {
             ("schema", "mgnn-repro/v1".to_value()),
             ("scale", format!("{:?}", opts.scale).to_value()),
             ("seed", opts.seed.to_value()),
+            (
+                "fault_profile",
+                opts.fault_profile
+                    .as_deref()
+                    .map_or(Value::Null, |p| p.to_value()),
+            ),
+            ("fault_seed", opts.fault_seed.to_value()),
             ("experiments", Value::Arr(experiment_values)),
         ]);
         write_or_die(file, &serde_json::to_string_pretty(&doc));
         eprintln!("[reports written to {}]", file.display());
+    }
+    if chaos_diverged {
+        eprintln!("chaos verdict: degraded run's loss diverged beyond tolerance");
+        std::process::exit(1);
     }
 }
 

@@ -5,8 +5,8 @@
 //! so a new experiment is one line here and cannot drift out of the CLI.
 
 use crate::figures::{
-    ablation, convergence, fig10, fig11, fig12, fig13, fig14, fig6, fig7, fig8, fig9, lookahead,
-    partitioning, perfmodel,
+    ablation, chaos, convergence, fig10, fig11, fig12, fig13, fig14, fig6, fig7, fig8, fig9,
+    lookahead, partitioning, perfmodel,
 };
 use crate::tables::{table2, table3, table4};
 use crate::Opts;
@@ -109,6 +109,11 @@ pub const ALL: &[Experiment] = &[
         about: "Convergence parity baseline vs prefetch",
         run: |o| convergence::run(o).to_string(),
     },
+    Experiment {
+        name: "chaos",
+        about: "Seeded fault injection: retry/respawn/degradation vs clean run",
+        run: |o| chaos::run(o).to_string(),
+    },
 ];
 
 /// Look an experiment up by CLI name.
@@ -149,6 +154,7 @@ mod tests {
             "lookahead",
             "partitioning",
             "convergence",
+            "chaos",
         ];
         assert_eq!(
             names(),

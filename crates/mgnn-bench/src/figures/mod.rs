@@ -1,7 +1,8 @@
 //! Figure reproductions (Figs. 6–14 of the paper, plus the Eq. 6 model
-//! check).
+//! check and the chaos fault-injection study).
 
 pub mod ablation;
+pub mod chaos;
 pub mod convergence;
 pub mod fig10;
 pub mod fig11;

@@ -4,7 +4,7 @@
 use massivegnn::{Engine, EngineConfig, Mode, PrefetchConfig, RunReport, ScoreLayout};
 use mgnn_graph::{DatasetKind, Scale};
 use mgnn_model::ModelKind;
-use mgnn_net::Backend;
+use mgnn_net::{Backend, FaultProfile, RetryPolicy};
 use mgnn_obs::Phase;
 
 /// Harness-wide options (size/effort knobs shared by all experiments).
@@ -29,6 +29,14 @@ pub struct Opts {
     /// engine the experiments build. Off by default: the disabled path is
     /// a no-op and leaves `RunReport` bitwise identical.
     pub trace: bool,
+    /// Named chaos profile (`off`/`light`/`heavy`, see
+    /// [`FaultProfile::NAMES`]) injected into every engine the
+    /// experiments build; `None` disables the fault machinery entirely.
+    pub fault_profile: Option<String>,
+    /// Seed for the chaos profile (independent of the run seed so the
+    /// same training run can be replayed under different fault
+    /// schedules).
+    pub fault_seed: u64,
 }
 
 impl Default for Opts {
@@ -42,11 +50,22 @@ impl Default for Opts {
             full: false,
             seed: 42,
             trace: false,
+            fault_profile: None,
+            fault_seed: 0xFA01,
         }
     }
 }
 
 impl Opts {
+    /// The [`FaultProfile`] these options select, or `None` when chaos
+    /// is off. Panics on an unknown profile name (the CLI validates).
+    pub fn fault(&self) -> Option<FaultProfile> {
+        self.fault_profile.as_deref().map(|name| {
+            FaultProfile::named(name, self.fault_seed)
+                .unwrap_or_else(|| panic!("unknown fault profile {name:?}"))
+        })
+    }
+
     /// A quick profile for smoke tests and `cargo bench` figure runs.
     pub fn quick() -> Self {
         Opts {
@@ -115,6 +134,8 @@ pub fn engine_config(
         train_math: false,
         parallel: false,
         trace: opts.trace,
+        fault: opts.fault(),
+        retry: RetryPolicy::default(),
     }
 }
 

@@ -2,20 +2,111 @@
 //! server threads, and bulk pull helpers that group requested nodes by
 //! owner partition (DistDGL batches one RPC per remote server per
 //! minibatch).
+//!
+//! The cluster is also where the fault-tolerance ladder lives. A pull
+//! against a faulty server can time out, come back truncated, or find
+//! the server dead; [`SimCluster::pull_grouped_checked`] retries with
+//! the configured [`RetryPolicy`], respawns a crashed server from its
+//! (still-resident) [`KvStore`], and — once retries are exhausted —
+//! zero-fills the affected rows rather than failing the whole pull,
+//! reporting exactly what happened in a [`PullOutcome`] so callers can
+//! charge simulated time and degrade gracefully.
 
+use crate::fault::{FaultProfile, RetryPolicy};
 use crate::kvstore::KvStore;
-use crate::rpc::{RpcClient, RpcServer};
+use crate::rpc::{PullHandle, PullResponse, RpcClient, RpcError, RpcServer};
 use mgnn_graph::{FeatureStore, NodeId};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+
+/// One partition's live server endpoint. Guarded by a mutex so a
+/// crashed server can be respawned (and its client handle swapped)
+/// without tearing down the cluster; `generation` detects respawns that
+/// already happened between a failed attempt and the recovery path.
+struct Remote {
+    server: Option<RpcServer>,
+    client: RpcClient,
+    generation: u64,
+}
+
+/// Chaos configuration attached to a cluster.
+struct ClusterFaults {
+    profile: FaultProfile,
+}
+
+/// Everything that deviated from the happy path during one grouped pull.
+/// All counts are exact and — with a seeded [`FaultProfile`] and a
+/// single issuing thread — fully deterministic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PullOutcome {
+    /// Bulk RPCs issued in the first round (one per touched partition);
+    /// retries are counted separately so the fault-free accounting is
+    /// unchanged.
+    pub rpcs: usize,
+    /// Retry attempts issued after a failed attempt.
+    pub retries: u64,
+    /// Attempts that timed out waiting for a reply.
+    pub timeouts: u64,
+    /// Replies rejected for a short payload.
+    pub truncations: u64,
+    /// Attempts that found the server dead (send failed or the reply
+    /// channel disconnected).
+    pub disconnects: u64,
+    /// Servers respawned from their resident KvStore.
+    pub respawns: u64,
+    /// Injected delay tags observed: `(nodes_in_request, k)` per event.
+    pub delay_events: Vec<(usize, u32)>,
+    /// Retry attempts charged to the sim clock:
+    /// `(nodes_in_request, attempt_number)` per event (1-based).
+    pub retry_events: Vec<(usize, u32)>,
+    /// Row indices (into the request's `ids`) that exhausted retries and
+    /// were zero-filled, in ascending order.
+    pub failed_rows: Vec<usize>,
+}
+
+impl PullOutcome {
+    /// Whether any fault was observed at all.
+    pub fn had_faults(&self) -> bool {
+        self.retries > 0
+            || self.timeouts > 0
+            || self.truncations > 0
+            || self.disconnects > 0
+            || self.respawns > 0
+            || !self.delay_events.is_empty()
+            || !self.failed_rows.is_empty()
+    }
+
+    /// Whether some rows came back zero-filled.
+    pub fn degraded(&self) -> bool {
+        !self.failed_rows.is_empty()
+    }
+
+    /// Simulated seconds this pull lost to faults: each injected delay
+    /// charges `k ×` the request's RPC time, and each retry re-charges
+    /// the request's RPC time plus the policy's deterministic backoff.
+    /// Zero on the fault-free path, so charging `t_rpc + charge_s` is
+    /// bitwise-identical to the pre-fault timing when nothing fired.
+    pub fn charge_s(&self, cost: &crate::cost::CostModel, dim: usize, retry: &RetryPolicy) -> f64 {
+        let mut t = 0.0;
+        for &(nodes, k) in &self.delay_events {
+            t += f64::from(k) * cost.t_rpc(nodes, dim);
+        }
+        for &(nodes, attempt) in &self.retry_events {
+            t += cost.t_rpc(nodes, dim) + retry.backoff_s(attempt);
+        }
+        t
+    }
+}
 
 /// The in-process stand-in for a multi-node cluster.
 pub struct SimCluster {
     stores: Vec<Arc<KvStore>>,
-    servers: Vec<RpcServer>,
-    clients: Vec<RpcClient>,
+    remotes: Vec<Mutex<Remote>>,
     dim: usize,
     /// Owner partition of every global node.
     assignment: Vec<u32>,
+    delay: std::time::Duration,
+    faults: Option<ClusterFaults>,
+    retry: RetryPolicy,
 }
 
 impl SimCluster {
@@ -23,7 +114,14 @@ impl SimCluster {
     /// `assignment` (`assignment[u]` = owner partition of node `u`).
     /// Spawns one real server thread per partition.
     pub fn new(features: &FeatureStore, assignment: &[u32], num_parts: usize) -> Self {
-        Self::with_rpc_delay(features, assignment, num_parts, std::time::Duration::ZERO)
+        Self::with_options(
+            features,
+            assignment,
+            num_parts,
+            std::time::Duration::ZERO,
+            None,
+            RetryPolicy::default(),
+        )
     }
 
     /// Like [`SimCluster::new`], but every server sleeps `delay` before
@@ -34,6 +132,43 @@ impl SimCluster {
         assignment: &[u32],
         num_parts: usize,
         delay: std::time::Duration,
+    ) -> Self {
+        Self::with_options(
+            features,
+            assignment,
+            num_parts,
+            delay,
+            None,
+            RetryPolicy::default(),
+        )
+    }
+
+    /// Like [`SimCluster::new`], but servers run under a deterministic
+    /// fault profile (when `Some`) and failed pulls follow `retry`.
+    pub fn with_faults(
+        features: &FeatureStore,
+        assignment: &[u32],
+        num_parts: usize,
+        profile: Option<FaultProfile>,
+        retry: RetryPolicy,
+    ) -> Self {
+        Self::with_options(
+            features,
+            assignment,
+            num_parts,
+            std::time::Duration::ZERO,
+            profile,
+            retry,
+        )
+    }
+
+    fn with_options(
+        features: &FeatureStore,
+        assignment: &[u32],
+        num_parts: usize,
+        delay: std::time::Duration,
+        profile: Option<FaultProfile>,
+        retry: RetryPolicy,
     ) -> Self {
         assert_eq!(features.num_nodes(), assignment.len());
         let dim = features.dim();
@@ -50,17 +185,28 @@ impl SimCluster {
                 Arc::new(KvStore::new(p as u32, ids, feats, labels, dim))
             })
             .collect();
-        let servers: Vec<RpcServer> = stores
+        let remotes: Vec<Mutex<Remote>> = stores
             .iter()
-            .map(|s| RpcServer::spawn_with_delay(Arc::clone(s), delay))
+            .enumerate()
+            .map(|(p, s)| {
+                let plan = profile.as_ref().map(|f| f.plan_for(p as u32));
+                let server = RpcServer::spawn_planned(Arc::clone(s), delay, plan);
+                let client = server.client();
+                Mutex::new(Remote {
+                    server: Some(server),
+                    client,
+                    generation: 0,
+                })
+            })
             .collect();
-        let clients: Vec<RpcClient> = servers.iter().map(|s| s.client()).collect();
         SimCluster {
             stores,
-            servers,
-            clients,
+            remotes,
             dim,
             assignment: assignment.to_vec(),
+            delay,
+            faults: profile.map(|profile| ClusterFaults { profile }),
+            retry,
         }
     }
 
@@ -74,6 +220,11 @@ impl SimCluster {
         self.dim
     }
 
+    /// The retry/backoff policy failed pulls follow.
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.retry
+    }
+
     /// Owner partition of global node `g`.
     pub fn owner(&self, g: NodeId) -> u32 {
         self.assignment[g as usize]
@@ -85,18 +236,31 @@ impl SimCluster {
         &self.stores[part as usize]
     }
 
-    /// RPC client to partition `part`'s server.
+    /// RPC client to partition `part`'s server (the current incarnation,
+    /// if it has been respawned).
     pub fn client(&self, part: u32) -> RpcClient {
-        self.clients[part as usize].clone()
+        self.remotes[part as usize].lock().unwrap().client.clone()
     }
 
     /// Pull features for arbitrary global `ids` through the RPC servers,
     /// grouping by owner (one bulk request per touched partition, like
-    /// DistDGL). Returns rows in the order of `ids`.
-    ///
-    /// Returns the gathered features plus the number of RPCs issued.
+    /// DistDGL). Returns rows in the order of `ids` plus the number of
+    /// first-round RPCs issued. Faults are absorbed by the ladder in
+    /// [`pull_grouped_checked`](Self::pull_grouped_checked); rows that
+    /// exhausted retries come back zero-filled.
     pub fn pull_grouped(&self, ids: &[NodeId]) -> (Vec<f32>, usize) {
+        let (out, outcome) = self.pull_grouped_checked(ids);
+        (out, outcome.rpcs)
+    }
+
+    /// [`pull_grouped`](Self::pull_grouped) with full fault accounting.
+    ///
+    /// Ladder per partition: issue → (on failure) respawn a dead server
+    /// and retry up to `RetryPolicy::max_retries` times → zero-fill the
+    /// partition's rows and report them in `PullOutcome::failed_rows`.
+    pub fn pull_grouped_checked(&self, ids: &[NodeId]) -> (Vec<f32>, PullOutcome) {
         let p = self.num_parts();
+        let mut outcome = PullOutcome::default();
         let mut by_part: Vec<Vec<NodeId>> = vec![Vec::new(); p];
         let mut position: Vec<(usize, usize)> = Vec::with_capacity(ids.len()); // (part, idx within part list)
         for &g in ids {
@@ -104,31 +268,151 @@ impl SimCluster {
             position.push((part, by_part[part].len()));
             by_part[part].push(g);
         }
-        // Issue all pulls first (async), then assemble.
-        let mut handles: Vec<Option<crate::rpc::PullHandle>> = Vec::with_capacity(p);
-        let mut rpcs = 0usize;
+        // Issue all first-round pulls before waiting on any, so healthy
+        // servers overlap even while one partition misbehaves.
+        let mut handles: Vec<Option<(Result<PullHandle, RpcError>, u64)>> = Vec::with_capacity(p);
         for (part, list) in by_part.iter().enumerate() {
             if list.is_empty() {
                 handles.push(None);
-            } else {
-                rpcs += 1;
-                handles.push(Some(self.clients[part].pull_async(list.clone())));
+                continue;
+            }
+            outcome.rpcs += 1;
+            let (client, generation) = {
+                let g = self.remotes[part].lock().unwrap();
+                (g.client.clone(), g.generation)
+            };
+            handles.push(Some((client.pull_async(list.clone()), generation)));
+        }
+        let mut responses: Vec<Option<Vec<f32>>> = vec![None; p];
+        for (part, slot) in handles.into_iter().enumerate() {
+            let Some((issued, generation)) = slot else {
+                continue;
+            };
+            let first = match issued {
+                Ok(h) => self.wait_on(h),
+                Err(e) => Err(e),
+            };
+            responses[part] = match first {
+                Ok(resp) => {
+                    self.note_delay(&resp, &by_part[part], &mut outcome);
+                    Some(resp.payload)
+                }
+                Err(e) => self.recover_part(part, &by_part[part], e, generation, &mut outcome),
+            };
+        }
+        // Assemble in request order; rows of partitions that exhausted
+        // every retry stay zero and are reported as failed.
+        let mut out = vec![0.0f32; ids.len() * self.dim];
+        for (row, &(part, idx)) in position.iter().enumerate() {
+            match &responses[part] {
+                Some(resp) => out[row * self.dim..(row + 1) * self.dim]
+                    .copy_from_slice(&resp[idx * self.dim..(idx + 1) * self.dim]),
+                None => outcome.failed_rows.push(row),
             }
         }
-        let responses: Vec<Option<Vec<f32>>> =
-            handles.into_iter().map(|h| h.map(|h| h.wait())).collect();
-        let mut out = Vec::with_capacity(ids.len() * self.dim);
-        for &(part, idx) in &position {
-            let resp = responses[part].as_ref().expect("response missing");
-            out.extend_from_slice(&resp[idx * self.dim..(idx + 1) * self.dim]);
-        }
-        (out, rpcs)
+        (out, outcome)
     }
 
-    /// Shut all servers down, returning total rows served per partition.
+    /// Wait for one reply, bounded by the retry policy's timeout when a
+    /// fault profile is active. The fault-free path blocks indefinitely
+    /// — exactly the pre-fault behaviour, with no wall-clock sensitivity.
+    fn wait_on(&self, handle: PullHandle) -> Result<PullResponse, RpcError> {
+        match &self.faults {
+            Some(_) => handle.wait_timeout(self.retry.timeout),
+            None => handle.wait(),
+        }
+    }
+
+    fn note_delay(&self, resp: &PullResponse, list: &[NodeId], outcome: &mut PullOutcome) {
+        if resp.delay_k > 0 {
+            outcome.delay_events.push((list.len(), resp.delay_k));
+        }
+    }
+
+    fn note_failure(&self, err: &RpcError, outcome: &mut PullOutcome) {
+        match err {
+            RpcError::Timeout => outcome.timeouts += 1,
+            RpcError::Truncated { .. } => outcome.truncations += 1,
+            RpcError::ServerGone | RpcError::Kv(_) => outcome.disconnects += 1,
+        }
+    }
+
+    /// Retry ladder for one partition after a failed first attempt.
+    /// Returns the payload, or `None` once every retry is exhausted (the
+    /// caller zero-fills). The server is respawned on disconnect even
+    /// when retries are spent, so later pulls find a healthy endpoint.
+    fn recover_part(
+        &self,
+        part: usize,
+        list: &[NodeId],
+        first_err: RpcError,
+        seen_generation: u64,
+        outcome: &mut PullOutcome,
+    ) -> Option<Vec<f32>> {
+        let mut err = first_err;
+        let mut generation = seen_generation;
+        for attempt in 1..=self.retry.max_retries {
+            self.note_failure(&err, outcome);
+            if matches!(err, RpcError::ServerGone) {
+                self.respawn(part, generation, outcome);
+            }
+            outcome.retries += 1;
+            outcome.retry_events.push((list.len(), attempt));
+            let (client, gen_now) = {
+                let g = self.remotes[part].lock().unwrap();
+                (g.client.clone(), g.generation)
+            };
+            generation = gen_now;
+            let result = client
+                .pull_async(list.to_vec())
+                .and_then(|h| self.wait_on(h));
+            match result {
+                Ok(resp) => {
+                    self.note_delay(&resp, list, outcome);
+                    return Some(resp.payload);
+                }
+                Err(e) => err = e,
+            }
+        }
+        self.note_failure(&err, outcome);
+        if matches!(err, RpcError::ServerGone) {
+            self.respawn(part, generation, outcome);
+        }
+        None
+    }
+
+    /// Respawn a dead server from its resident KvStore, unless another
+    /// caller already did (the generation moved past what the failed
+    /// attempt used). A respawned server's plan has its crash budget
+    /// spent — a partition crashes at most once per incarnation chain.
+    fn respawn(&self, part: usize, seen_generation: u64, outcome: &mut PullOutcome) {
+        let mut g = self.remotes[part].lock().unwrap();
+        if g.generation != seen_generation {
+            return;
+        }
+        let plan = self
+            .faults
+            .as_ref()
+            .map(|f| f.profile.plan_for(part as u32).without_crash());
+        let server = RpcServer::spawn_planned(Arc::clone(&self.stores[part]), self.delay, plan);
+        g.client = server.client();
+        // Dropping the old handle joins the already-dead thread.
+        g.server = Some(server);
+        g.generation += 1;
+        outcome.respawns += 1;
+    }
+
+    /// Shut all servers down, returning total rows served per partition
+    /// (for a respawned partition: rows served by its current
+    /// incarnation).
     pub fn shutdown(self) -> Vec<u64> {
-        drop(self.clients);
-        self.servers.into_iter().map(|s| s.shutdown()).collect()
+        self.remotes
+            .into_iter()
+            .map(|m| {
+                let mut g = m.into_inner().unwrap();
+                g.server.take().map(|s| s.shutdown()).unwrap_or(0)
+            })
+            .collect()
     }
 }
 
@@ -143,6 +427,20 @@ mod tests {
         let f = FeatureStore::synthesize(&g, 8, 3, 1);
         let assignment: Vec<u32> = (0..60).map(|u| (u % 4) as u32).collect();
         (f, assignment)
+    }
+
+    fn retry_with_timeout(ms: u64) -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 2,
+            timeout: std::time::Duration::from_millis(ms),
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Generous timeout for tests where a timeout firing would be a
+    /// spurious failure (loaded CI), short enough to not matter.
+    fn fast_retry() -> RetryPolicy {
+        retry_with_timeout(2_000)
     }
 
     #[test]
@@ -185,5 +483,113 @@ mod tests {
         for u in 0..60u32 {
             assert_eq!(c.store(c.owner(u)).label(u), f.label(u));
         }
+    }
+
+    #[test]
+    fn faultless_profile_outcome_is_clean() {
+        let (f, a) = fixture();
+        let c = SimCluster::with_faults(&f, &a, 4, Some(FaultProfile::off(3)), fast_retry());
+        let ids = vec![7u32, 3, 42, 7, 11];
+        let (out, outcome) = c.pull_grouped_checked(&ids);
+        assert!(!outcome.had_faults());
+        assert!(outcome.charge_s(&crate::cost::CostModel::default(), 8, c.retry_policy()) == 0.0);
+        for (i, &g) in ids.iter().enumerate() {
+            assert_eq!(&out[i * 8..(i + 1) * 8], f.row(g), "row {g}");
+        }
+    }
+
+    #[test]
+    fn crash_is_recovered_by_respawn_with_correct_data() {
+        let (f, a) = fixture();
+        let profile = FaultProfile {
+            crash_part: Some(2),
+            crash_after: 0,
+            ..FaultProfile::off(5)
+        };
+        let c = SimCluster::with_faults(&f, &a, 4, Some(profile), fast_retry());
+        let ids: Vec<u32> = (0..60).collect();
+        let (out, outcome) = c.pull_grouped_checked(&ids);
+        assert_eq!(outcome.respawns, 1);
+        assert!(outcome.disconnects >= 1);
+        assert!(outcome.retries >= 1);
+        assert!(
+            outcome.failed_rows.is_empty(),
+            "respawn + retry must deliver every row: {:?}",
+            outcome.failed_rows
+        );
+        for (i, &g) in ids.iter().enumerate() {
+            assert_eq!(&out[i * 8..(i + 1) * 8], f.row(g), "row {g}");
+        }
+        // The respawned server is healthy: a second pull is clean.
+        let (_, second) = c.pull_grouped_checked(&ids);
+        assert!(!second.had_faults());
+    }
+
+    #[test]
+    fn exhausted_retries_zero_fill_and_report_rows() {
+        let (f, a) = fixture();
+        // Partition 1 drops every reply; retries can never succeed.
+        let profile = FaultProfile {
+            drop_prob: 1.0,
+            ..FaultProfile::off(9)
+        };
+        let c = SimCluster::with_faults(&f, &a, 4, Some(profile), retry_with_timeout(10));
+        let ids = vec![4u32, 5, 6, 7]; // parts 0..=3, one row each
+        let (out, outcome) = c.pull_grouped_checked(&ids);
+        assert_eq!(outcome.failed_rows, vec![0, 1, 2, 3]);
+        assert_eq!(
+            outcome.timeouts as usize,
+            4 * (1 + 2),
+            "first try + 2 retries per part"
+        );
+        assert_eq!(outcome.retries, 8);
+        assert!(out.iter().all(|&v| v == 0.0), "failed rows are zero-filled");
+        assert!(outcome.degraded());
+    }
+
+    #[test]
+    fn delays_are_tagged_not_slept() {
+        let (f, a) = fixture();
+        let profile = FaultProfile {
+            delay_prob: 1.0,
+            delay_factor: 6,
+            ..FaultProfile::off(2)
+        };
+        let c = SimCluster::with_faults(&f, &a, 4, Some(profile), fast_retry());
+        let ids = vec![0u32, 1, 2, 3];
+        let (out, outcome) = c.pull_grouped_checked(&ids);
+        assert_eq!(outcome.delay_events.len(), 4);
+        assert!(outcome.delay_events.iter().all(|&(n, k)| n == 1 && k == 6));
+        assert!(outcome.failed_rows.is_empty());
+        for (i, &g) in ids.iter().enumerate() {
+            assert_eq!(&out[i * 8..(i + 1) * 8], f.row(g), "row {g}");
+        }
+        // Sim-time charge: 4 delayed single-node requests at k=6.
+        let cost = crate::cost::CostModel::default();
+        let want = 4.0 * 6.0 * cost.t_rpc(1, 8);
+        let got = outcome.charge_s(&cost, 8, c.retry_policy());
+        assert!((got - want).abs() < 1e-12, "{got} vs {want}");
+    }
+
+    #[test]
+    fn same_seed_same_outcome() {
+        let (f, a) = fixture();
+        let profile = FaultProfile {
+            drop_prob: 0.3,
+            delay_prob: 0.3,
+            delay_factor: 2,
+            truncate_prob: 0.2,
+            ..FaultProfile::off(77)
+        };
+        let run = || {
+            let c =
+                SimCluster::with_faults(&f, &a, 4, Some(profile.clone()), retry_with_timeout(500));
+            let mut outs = Vec::new();
+            for _ in 0..3 {
+                outs.push(c.pull_grouped_checked(&[1, 2, 3, 4, 5, 6, 7, 8]));
+            }
+            outs
+        };
+        assert_eq!(run(), run(), "seeded chaos must replay bit-for-bit");
     }
 }

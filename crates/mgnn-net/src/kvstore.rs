@@ -6,6 +6,23 @@
 
 use mgnn_graph::NodeId;
 
+/// A pull touched a global id this shard does not own.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KvError {
+    /// The offending global node id.
+    pub node: NodeId,
+    /// The partition that rejected it.
+    pub part: u32,
+}
+
+impl std::fmt::Display for KvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "node {} not owned by partition {}", self.node, self.part)
+    }
+}
+
+impl std::error::Error for KvError {}
+
 /// Feature shard of one partition.
 #[derive(Debug, Clone)]
 pub struct KvStore {
@@ -75,11 +92,19 @@ impl KvStore {
 
     /// Feature row of owned global node `g`. Panics if not owned.
     pub fn row(&self, g: NodeId) -> &[f32] {
-        let i = self
-            .owned
-            .binary_search(&g)
-            .unwrap_or_else(|_| panic!("node {g} not owned by partition {}", self.part_id));
-        &self.features[i * self.dim..(i + 1) * self.dim]
+        self.try_row(g).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Feature row of global node `g`, or a typed error if this shard
+    /// does not own it.
+    pub fn try_row(&self, g: NodeId) -> Result<&[f32], KvError> {
+        match self.owned.binary_search(&g) {
+            Ok(i) => Ok(&self.features[i * self.dim..(i + 1) * self.dim]),
+            Err(_) => Err(KvError {
+                node: g,
+                part: self.part_id,
+            }),
+        }
     }
 
     /// Label of owned global node `g`.
@@ -91,14 +116,16 @@ impl KvStore {
         self.labels[i]
     }
 
-    /// Bulk pull: gather rows for `ids` (all must be owned) into a dense
-    /// row-major buffer — the payload of one bulk RPC response.
-    pub fn pull(&self, ids: &[NodeId]) -> Vec<f32> {
+    /// Bulk pull: gather rows for `ids` into a dense row-major buffer —
+    /// the payload of one bulk RPC response. Fails on the first id this
+    /// shard does not own, so a routing bug surfaces as a typed error
+    /// at the server instead of a panic that kills the server thread.
+    pub fn pull(&self, ids: &[NodeId]) -> Result<Vec<f32>, KvError> {
         let mut out = Vec::with_capacity(ids.len() * self.dim);
         for &g in ids {
-            out.extend_from_slice(self.row(g));
+            out.extend_from_slice(self.try_row(g)?);
         }
-        out
+        Ok(out)
     }
 
     /// Approximate heap bytes (the paper's Fig. 14 memory accounting).
@@ -135,21 +162,32 @@ mod tests {
     #[test]
     fn bulk_pull_order_preserved() {
         let s = store();
-        let out = s.pull(&[9, 2]);
+        let out = s.pull(&[9, 2]).unwrap();
         assert_eq!(out, vec![5.0, 6.0, 1.0, 2.0]);
     }
 
     #[test]
-    #[should_panic]
-    fn pull_unowned_panics() {
-        store().pull(&[3]);
+    fn pull_unowned_is_typed_error() {
+        let err = store().pull(&[3]).unwrap_err();
+        assert_eq!(err, KvError { node: 3, part: 0 });
+        assert_eq!(err.to_string(), "node 3 not owned by partition 0");
+    }
+
+    #[test]
+    fn mixed_owned_unowned_bulk_pull_reports_first_offender() {
+        // Owned ids before the bad one must not mask the error, and the
+        // *first* unowned id is the one reported.
+        let err = store().pull(&[2, 9, 7, 3]).unwrap_err();
+        assert_eq!(err, KvError { node: 7, part: 0 });
+        assert!(store().try_row(7).is_err());
+        assert_eq!(store().try_row(9).unwrap(), &[5.0, 6.0]);
     }
 
     #[test]
     fn empty_store() {
         let s = KvStore::new(1, vec![], vec![], vec![], 4);
         assert!(s.is_empty());
-        assert_eq!(s.pull(&[]), Vec::<f32>::new());
+        assert_eq!(s.pull(&[]).unwrap(), Vec::<f32>::new());
     }
 
     #[test]

@@ -20,15 +20,25 @@
 //! *shape* of every result follows from real sampled-node/buffer behaviour,
 //! while absolute seconds are transparently a model.
 
+//! A third layer rides on top of both: **deterministic chaos**. A
+//! seeded [`fault::FaultProfile`] makes servers drop, delay-tag,
+//! truncate, or crash per a pure hash of the request index; clients
+//! retry with [`fault::RetryPolicy`] backoff charged to the *modeled*
+//! clock; and [`cluster::SimCluster`] degrades (respawn → retry →
+//! zero-fill) instead of panicking, reporting every deviation exactly.
+
 pub mod clock;
 pub mod cluster;
 pub mod cost;
+pub mod fault;
 pub mod kvstore;
 pub mod metrics;
 pub mod rpc;
 
 pub use clock::{PipelineClock, PipelineStepTimes, SimClock};
-pub use cluster::SimCluster;
+pub use cluster::{PullOutcome, SimCluster};
 pub use cost::{Backend, CostModel};
-pub use kvstore::KvStore;
-pub use metrics::CommMetrics;
+pub use fault::{FaultPlan, FaultProfile, FaultVerdict, RetryPolicy};
+pub use kvstore::{KvError, KvStore};
+pub use metrics::{CommMetrics, MetricsSnapshot};
+pub use rpc::RpcError;

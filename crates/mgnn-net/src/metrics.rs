@@ -37,6 +37,24 @@ pub struct CommMetrics {
     pub evictions: AtomicU64,
     /// Replacement nodes fetched on eviction rounds.
     pub replacements_fetched: AtomicU64,
+    /// RPC retry attempts issued after a failed pull.
+    pub rpc_retries: AtomicU64,
+    /// Pull attempts that timed out (dropped replies).
+    pub rpc_timeouts: AtomicU64,
+    /// Replies rejected for a truncated payload.
+    pub rpc_truncations: AtomicU64,
+    /// Pull attempts that found a dead server.
+    pub rpc_disconnects: AtomicU64,
+    /// Injected delay tags observed on replies.
+    pub rpc_delays: AtomicU64,
+    /// Servers respawned from their resident KvStore.
+    pub server_respawns: AtomicU64,
+    /// Eviction replacements cancelled because the fetch failed — the
+    /// stale resident row kept serving instead (degradation rung 2).
+    pub stale_served: AtomicU64,
+    /// Input rows zero-filled after retries were exhausted
+    /// (degradation rung 3).
+    pub degraded_rows: AtomicU64,
 }
 
 impl CommMetrics {
@@ -121,6 +139,41 @@ impl CommMetrics {
             .fetch_add(replaced, Ordering::Relaxed);
     }
 
+    /// Fold one grouped pull's fault accounting into the counters.
+    /// A no-op for a clean outcome, so the fault-free path's snapshot is
+    /// untouched.
+    pub fn record_pull_outcome(&self, o: &crate::cluster::PullOutcome) {
+        if !o.had_faults() {
+            return;
+        }
+        self.rpc_retries.fetch_add(o.retries, Ordering::Relaxed);
+        self.rpc_timeouts.fetch_add(o.timeouts, Ordering::Relaxed);
+        self.rpc_truncations
+            .fetch_add(o.truncations, Ordering::Relaxed);
+        self.rpc_disconnects
+            .fetch_add(o.disconnects, Ordering::Relaxed);
+        self.rpc_delays
+            .fetch_add(o.delay_events.len() as u64, Ordering::Relaxed);
+        self.server_respawns
+            .fetch_add(o.respawns, Ordering::Relaxed);
+    }
+
+    /// Record graceful-degradation events: `stale` cancelled eviction
+    /// replacements (the old resident kept serving) and `zero_filled`
+    /// input rows served as zeros.
+    pub fn record_degradation(&self, stale: u64, zero_filled: u64) {
+        self.stale_served.fetch_add(stale, Ordering::Relaxed);
+        self.degraded_rows.fetch_add(zero_filled, Ordering::Relaxed);
+    }
+
+    /// Record a fault-lane span covering the simulated time `step` lost
+    /// to faults (injected delays + retry/backoff charges).
+    pub fn fault_span(&self, step: u64, rel_start_s: f64, dur_s: f64) {
+        if let Some(r) = &self.recorder {
+            r.record(Lane::Fault, step, Phase::Fault, rel_start_s, dur_s);
+        }
+    }
+
     /// Cumulative hit rate (Eq. 8 of the paper): `h / (h + m)`;
     /// 0.0 before any lookup.
     pub fn hit_rate(&self) -> f64 {
@@ -144,6 +197,14 @@ impl CommMetrics {
             buffer_misses: self.buffer_misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             replacements_fetched: self.replacements_fetched.load(Ordering::Relaxed),
+            rpc_retries: self.rpc_retries.load(Ordering::Relaxed),
+            rpc_timeouts: self.rpc_timeouts.load(Ordering::Relaxed),
+            rpc_truncations: self.rpc_truncations.load(Ordering::Relaxed),
+            rpc_disconnects: self.rpc_disconnects.load(Ordering::Relaxed),
+            rpc_delays: self.rpc_delays.load(Ordering::Relaxed),
+            server_respawns: self.server_respawns.load(Ordering::Relaxed),
+            stale_served: self.stale_served.load(Ordering::Relaxed),
+            degraded_rows: self.degraded_rows.load(Ordering::Relaxed),
         }
     }
 }
@@ -167,6 +228,22 @@ pub struct MetricsSnapshot {
     pub evictions: u64,
     /// Replacement rows fetched.
     pub replacements_fetched: u64,
+    /// RPC retry attempts.
+    pub rpc_retries: u64,
+    /// Pull attempts that timed out.
+    pub rpc_timeouts: u64,
+    /// Truncated replies rejected.
+    pub rpc_truncations: u64,
+    /// Pull attempts that found a dead server.
+    pub rpc_disconnects: u64,
+    /// Injected delay tags observed.
+    pub rpc_delays: u64,
+    /// Servers respawned.
+    pub server_respawns: u64,
+    /// Stale buffer rows served after a cancelled replacement.
+    pub stale_served: u64,
+    /// Zero-filled input rows.
+    pub degraded_rows: u64,
 }
 
 impl MetricsSnapshot {
@@ -191,7 +268,28 @@ impl MetricsSnapshot {
             buffer_misses: self.buffer_misses + other.buffer_misses,
             evictions: self.evictions + other.evictions,
             replacements_fetched: self.replacements_fetched + other.replacements_fetched,
+            rpc_retries: self.rpc_retries + other.rpc_retries,
+            rpc_timeouts: self.rpc_timeouts + other.rpc_timeouts,
+            rpc_truncations: self.rpc_truncations + other.rpc_truncations,
+            rpc_disconnects: self.rpc_disconnects + other.rpc_disconnects,
+            rpc_delays: self.rpc_delays + other.rpc_delays,
+            server_respawns: self.server_respawns + other.server_respawns,
+            stale_served: self.stale_served + other.stale_served,
+            degraded_rows: self.degraded_rows + other.degraded_rows,
         }
+    }
+
+    /// Whether any fault, retry, or degradation event was recorded.
+    pub fn had_faults(&self) -> bool {
+        self.rpc_retries
+            + self.rpc_timeouts
+            + self.rpc_truncations
+            + self.rpc_disconnects
+            + self.rpc_delays
+            + self.server_respawns
+            + self.stale_served
+            + self.degraded_rows
+            > 0
     }
 }
 
@@ -206,6 +304,14 @@ impl Serialize for MetricsSnapshot {
             ("buffer_misses", self.buffer_misses.to_value()),
             ("evictions", self.evictions.to_value()),
             ("replacements_fetched", self.replacements_fetched.to_value()),
+            ("rpc_retries", self.rpc_retries.to_value()),
+            ("rpc_timeouts", self.rpc_timeouts.to_value()),
+            ("rpc_truncations", self.rpc_truncations.to_value()),
+            ("rpc_disconnects", self.rpc_disconnects.to_value()),
+            ("rpc_delays", self.rpc_delays.to_value()),
+            ("server_respawns", self.server_respawns.to_value()),
+            ("stale_served", self.stale_served.to_value()),
+            ("degraded_rows", self.degraded_rows.to_value()),
             ("hit_rate", self.hit_rate().to_value()),
         ])
     }
@@ -341,6 +447,69 @@ mod tests {
         b.record_rpc(10, 4);
         b.record_local_copy(3);
         assert_eq!(a.snapshot(), b.snapshot());
+    }
+
+    #[test]
+    fn pull_outcome_folds_into_counters() {
+        use crate::cluster::PullOutcome;
+        let m = CommMetrics::new();
+        let clean = PullOutcome {
+            rpcs: 3,
+            ..Default::default()
+        };
+        m.record_pull_outcome(&clean);
+        assert_eq!(
+            m.snapshot(),
+            MetricsSnapshot::default(),
+            "clean outcome is a no-op"
+        );
+        assert!(!m.snapshot().had_faults());
+        let chaotic = PullOutcome {
+            rpcs: 2,
+            retries: 3,
+            timeouts: 2,
+            truncations: 1,
+            disconnects: 1,
+            respawns: 1,
+            delay_events: vec![(4, 2), (1, 5)],
+            retry_events: vec![(4, 1), (4, 2), (1, 1)],
+            failed_rows: vec![0],
+        };
+        m.record_pull_outcome(&chaotic);
+        m.record_degradation(2, 1);
+        let s = m.snapshot();
+        assert!(s.had_faults());
+        assert_eq!(s.rpc_retries, 3);
+        assert_eq!(s.rpc_timeouts, 2);
+        assert_eq!(s.rpc_truncations, 1);
+        assert_eq!(s.rpc_disconnects, 1);
+        assert_eq!(s.rpc_delays, 2);
+        assert_eq!(s.server_respawns, 1);
+        assert_eq!(s.stale_served, 2);
+        assert_eq!(s.degraded_rows, 1);
+        let merged = s.merge(&s);
+        assert_eq!(merged.rpc_retries, 6);
+        assert_eq!(merged.degraded_rows, 2);
+        let v = s.to_value();
+        assert_eq!(v.get("rpc_retries").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("server_respawns").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn fault_span_lands_on_fault_lane() {
+        use mgnn_obs::{Lane, Phase};
+        use std::sync::Arc;
+        let rec = Arc::new(SpanRecorder::for_trainer(0, 0));
+        let m = CommMetrics::with_recorder(Arc::clone(&rec));
+        m.fault_span(3, 0.001, 0.01);
+        let t = rec.snapshot();
+        let f = t.phase(Phase::Fault).unwrap();
+        assert_eq!(f.count, 1);
+        assert!((f.sum_s - 0.01).abs() < 1e-12);
+        assert!(t
+            .events
+            .iter()
+            .any(|e| e.lane == Lane::Fault && e.phase == Phase::Fault && e.step == 3));
     }
 
     #[test]

@@ -7,12 +7,68 @@
 //! the asynchrony/ordering behaviour the prefetch pipeline relies on is
 //! exercised for real, while the *time* such a pull would cost on a
 //! cluster is charged separately by the cost model.
+//!
+//! Every client-facing call returns `Result<_, RpcError>` instead of
+//! panicking: a dead server surfaces as [`RpcError::ServerGone`], a
+//! swallowed reply as [`RpcError::Timeout`] (via
+//! [`PullHandle::wait_timeout`]), a short payload as
+//! [`RpcError::Truncated`], and a routing bug as [`RpcError::Kv`].
+//! Servers optionally run under a deterministic [`FaultPlan`] that
+//! decides per request whether to drop, delay-tag, or truncate the
+//! reply, or crash the server thread outright.
 
-use crate::kvstore::KvStore;
-use crossbeam_channel::{bounded, unbounded, Sender};
+use crate::fault::{FaultPlan, FaultVerdict};
+use crate::kvstore::{KvError, KvStore};
+use crossbeam_channel::{bounded, unbounded, RecvTimeoutError, Sender};
 use mgnn_graph::NodeId;
 use std::sync::Arc;
 use std::thread::JoinHandle;
+
+/// Why a pull failed at the client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RpcError {
+    /// The server thread is gone: the request could not be sent, or the
+    /// reply channel disconnected before a reply arrived.
+    ServerGone,
+    /// No reply arrived within the wait bound.
+    Timeout,
+    /// The reply arrived with fewer bytes than `rows × dim`.
+    Truncated {
+        /// Expected payload length in floats.
+        expected: usize,
+        /// Received payload length in floats.
+        got: usize,
+    },
+    /// The server rejected the request (e.g. an id it does not own).
+    Kv(KvError),
+}
+
+impl std::fmt::Display for RpcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RpcError::ServerGone => f.write_str("server gone"),
+            RpcError::Timeout => f.write_str("pull timed out"),
+            RpcError::Truncated { expected, got } => {
+                write!(
+                    f,
+                    "truncated payload: expected {expected} floats, got {got}"
+                )
+            }
+            RpcError::Kv(e) => write!(f, "server rejected pull: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+/// One reply from a partition server.
+#[derive(Debug)]
+pub struct PullReply {
+    /// The gathered rows, or the server-side rejection.
+    pub payload: Result<Vec<f32>, KvError>,
+    /// Injected sim-time delay factor (0 when no delay fault fired).
+    pub delay_k: u32,
+}
 
 /// A request to a partition server.
 pub enum Request {
@@ -22,7 +78,7 @@ pub enum Request {
         /// Global node ids to fetch.
         ids: Vec<NodeId>,
         /// One-shot response channel.
-        reply: Sender<Vec<f32>>,
+        reply: Sender<PullReply>,
     },
     /// Stop the server loop.
     Shutdown,
@@ -32,6 +88,7 @@ pub enum Request {
 pub struct RpcServer {
     tx: Sender<Request>,
     handle: Option<JoinHandle<u64>>,
+    dim: usize,
 }
 
 impl RpcServer {
@@ -45,7 +102,21 @@ impl RpcServer {
     /// so the threaded overlap pipeline has something genuine to hide
     /// (in-process RPC is otherwise effectively free).
     pub fn spawn_with_delay(kv: Arc<KvStore>, delay: std::time::Duration) -> Self {
-        Self::spawn_inner(kv, delay, None)
+        Self::spawn_inner(kv, delay, None, None)
+    }
+
+    /// Spawn a server running under a deterministic fault plan: each
+    /// request's verdict (serve / drop / delay-tag / truncate) is a pure
+    /// function of the plan seed and the request index, and the server
+    /// thread exits — without replying — once the plan's crash budget is
+    /// reached. Injected delays are *sim-time tags* on the reply, not
+    /// wall-clock sleeps, so chaos runs stay fast and reproducible.
+    pub fn spawn_planned(
+        kv: Arc<KvStore>,
+        delay: std::time::Duration,
+        plan: Option<FaultPlan>,
+    ) -> Self {
+        Self::spawn_inner(kv, delay, None, plan)
     }
 
     /// [`spawn_with_delay`](Self::spawn_with_delay), recording one
@@ -59,33 +130,71 @@ impl RpcServer {
         delay: std::time::Duration,
         recorder: Arc<mgnn_obs::SpanRecorder>,
     ) -> Self {
-        Self::spawn_inner(kv, delay, Some(recorder))
+        Self::spawn_inner(kv, delay, Some(recorder), None)
     }
 
     fn spawn_inner(
         kv: Arc<KvStore>,
         delay: std::time::Duration,
         recorder: Option<Arc<mgnn_obs::SpanRecorder>>,
+        plan: Option<FaultPlan>,
     ) -> Self {
+        let dim = kv.dim();
         let (tx, rx) = unbounded::<Request>();
         let handle = std::thread::Builder::new()
             .name(format!("kvserver-{}", kv.part_id()))
             .spawn(move || {
                 let mut served = 0u64;
                 let mut requests = 0u64;
+                // Reply senders for swallowed (dropped) replies are parked
+                // here instead of being dropped: dropping one would signal
+                // "disconnected" to the waiting client, but a swallowed
+                // reply must look like *silence* (a timeout), exactly as
+                // on a real network.
+                let mut parked: Vec<Sender<PullReply>> = Vec::new();
                 while let Ok(req) = rx.recv() {
                     match req {
                         Request::Pull { ids, reply } => {
+                            if let Some(p) = &plan {
+                                if p.crash_before(requests) {
+                                    // Simulated crash: exit without
+                                    // replying. Dropping `reply` (and the
+                                    // request channel) is what in-flight
+                                    // and queued clients observe.
+                                    break;
+                                }
+                            }
+                            let verdict = plan
+                                .as_ref()
+                                .map(|p| p.verdict(requests))
+                                .unwrap_or(FaultVerdict::None);
                             let _span = recorder.as_ref().map(|r| {
                                 r.start_wall(mgnn_obs::Lane::Server, requests, mgnn_obs::Phase::Rpc)
                             });
                             requests += 1;
-                            served += ids.len() as u64;
                             if !delay.is_zero() && !ids.is_empty() {
                                 std::thread::sleep(delay);
                             }
+                            if matches!(verdict, FaultVerdict::Drop) {
+                                // Swallow the reply; the client times out.
+                                parked.push(reply);
+                                continue;
+                            }
+                            let mut payload = kv.pull(&ids);
+                            let delay_k = match verdict {
+                                FaultVerdict::Delay(k) => k,
+                                _ => 0,
+                            };
+                            if matches!(verdict, FaultVerdict::Truncate) {
+                                if let Ok(p) = &mut payload {
+                                    p.truncate(p.len().saturating_sub(dim));
+                                }
+                            }
+                            if let Ok(p) = &payload {
+                                served += (p.len() / dim.max(1)) as u64;
+                            }
                             // A dropped client is not a server error.
-                            let _ = reply.send(kv.pull(&ids));
+                            let _ = reply.send(PullReply { payload, delay_k });
                         }
                         Request::Shutdown => break,
                     }
@@ -96,6 +205,7 @@ impl RpcServer {
         RpcServer {
             tx,
             handle: Some(handle),
+            dim,
         }
     }
 
@@ -103,10 +213,12 @@ impl RpcServer {
     pub fn client(&self) -> RpcClient {
         RpcClient {
             tx: self.tx.clone(),
+            dim: self.dim,
         }
     }
 
-    /// Shut the server down, returning the total rows it served.
+    /// Shut the server down, returning the total rows it served. Safe to
+    /// call on a server that already crashed: the join still succeeds.
     pub fn shutdown(mut self) -> u64 {
         let _ = self.tx.send(Request::Shutdown);
         self.handle
@@ -129,45 +241,92 @@ impl Drop for RpcServer {
 #[derive(Clone)]
 pub struct RpcClient {
     tx: Sender<Request>,
+    dim: usize,
 }
 
 impl RpcClient {
     /// Blocking bulk pull of `ids` from the server.
-    pub fn pull(&self, ids: Vec<NodeId>) -> Vec<f32> {
-        let (rtx, rrx) = bounded(1);
-        self.tx
-            .send(Request::Pull { ids, reply: rtx })
-            .expect("server gone");
-        rrx.recv().expect("server dropped reply")
+    pub fn pull(&self, ids: Vec<NodeId>) -> Result<Vec<f32>, RpcError> {
+        self.pull_async(ids)?.wait().map(|r| r.payload)
     }
 
     /// Fire a pull and return a waiter, letting the caller overlap other
     /// work before blocking — the RPC/score-update overlap of Algorithm 2
-    /// line 20–22.
-    pub fn pull_async(&self, ids: Vec<NodeId>) -> PullHandle {
+    /// line 20–22. Fails immediately if the server is already gone.
+    pub fn pull_async(&self, ids: Vec<NodeId>) -> Result<PullHandle, RpcError> {
         let (rtx, rrx) = bounded(1);
+        let expect_rows = ids.len();
         self.tx
             .send(Request::Pull { ids, reply: rtx })
-            .expect("server gone");
-        PullHandle { rx: rrx }
+            .map_err(|_| RpcError::ServerGone)?;
+        Ok(PullHandle {
+            rx: rrx,
+            expect_rows,
+            dim: self.dim,
+        })
     }
+}
+
+/// A validated, completed pull.
+#[derive(Debug)]
+pub struct PullResponse {
+    /// Dense row-major rows in request order.
+    pub payload: Vec<f32>,
+    /// Injected sim-time delay factor carried back by the server.
+    pub delay_k: u32,
 }
 
 /// In-flight pull.
 pub struct PullHandle {
-    rx: crossbeam_channel::Receiver<Vec<f32>>,
+    rx: crossbeam_channel::Receiver<PullReply>,
+    expect_rows: usize,
+    dim: usize,
 }
 
 impl PullHandle {
-    /// Block until the response arrives.
-    pub fn wait(self) -> Vec<f32> {
-        self.rx.recv().expect("server dropped reply")
+    /// Block until the response arrives. If the server thread dies
+    /// mid-request this returns [`RpcError::ServerGone`] instead of
+    /// hanging or panicking.
+    pub fn wait(self) -> Result<PullResponse, RpcError> {
+        let reply = self.rx.recv().map_err(|_| RpcError::ServerGone)?;
+        Self::validate(reply, self.expect_rows, self.dim)
+    }
+
+    /// Block at most `timeout` for the response. A swallowed reply
+    /// surfaces as [`RpcError::Timeout`]; a dead server as
+    /// [`RpcError::ServerGone`].
+    pub fn wait_timeout(self, timeout: std::time::Duration) -> Result<PullResponse, RpcError> {
+        let reply = self.rx.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => RpcError::Timeout,
+            RecvTimeoutError::Disconnected => RpcError::ServerGone,
+        })?;
+        Self::validate(reply, self.expect_rows, self.dim)
+    }
+
+    fn validate(
+        reply: PullReply,
+        expect_rows: usize,
+        dim: usize,
+    ) -> Result<PullResponse, RpcError> {
+        let payload = reply.payload.map_err(RpcError::Kv)?;
+        let expected = expect_rows * dim;
+        if payload.len() != expected {
+            return Err(RpcError::Truncated {
+                expected,
+                got: payload.len(),
+            });
+        }
+        Ok(PullResponse {
+            payload,
+            delay_k: reply.delay_k,
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultProfile;
 
     fn kv() -> Arc<KvStore> {
         Arc::new(KvStore::new(
@@ -179,11 +338,17 @@ mod tests {
         ))
     }
 
+    fn plan_with(f: impl FnOnce(&mut FaultProfile)) -> FaultPlan {
+        let mut p = FaultProfile::off(11);
+        f(&mut p);
+        p.plan_for(0)
+    }
+
     #[test]
     fn pull_round_trip() {
         let server = RpcServer::spawn(kv());
         let client = server.client();
-        let out = client.pull(vec![5, 1]);
+        let out = client.pull(vec![5, 1]).unwrap();
         assert_eq!(out, vec![5.0, 5.5, 1.0, 1.5]);
         assert_eq!(server.shutdown(), 2);
     }
@@ -192,11 +357,13 @@ mod tests {
     fn async_pull_overlaps() {
         let server = RpcServer::spawn(kv());
         let client = server.client();
-        let handle = client.pull_async(vec![3]);
+        let handle = client.pull_async(vec![3]).unwrap();
         // Do "other work" before waiting.
         let x: u64 = (0..100).sum();
         assert_eq!(x, 4950);
-        assert_eq!(handle.wait(), vec![3.0, 3.5]);
+        let resp = handle.wait().unwrap();
+        assert_eq!(resp.payload, vec![3.0, 3.5]);
+        assert_eq!(resp.delay_k, 0);
     }
 
     #[test]
@@ -208,7 +375,7 @@ mod tests {
             .map(|c| {
                 std::thread::spawn(move || {
                     for _ in 0..50 {
-                        assert_eq!(c.pull(vec![1]), vec![1.0, 1.5]);
+                        assert_eq!(c.pull(vec![1]).unwrap(), vec![1.0, 1.5]);
                     }
                 })
             })
@@ -224,11 +391,11 @@ mod tests {
         let server = RpcServer::spawn_with_delay(kv(), std::time::Duration::from_millis(2));
         let client = server.client();
         let t0 = std::time::Instant::now();
-        assert_eq!(client.pull(vec![1]), vec![1.0, 1.5]);
+        assert_eq!(client.pull(vec![1]).unwrap(), vec![1.0, 1.5]);
         assert!(t0.elapsed() >= std::time::Duration::from_millis(2));
         // Empty pulls skip the delay.
         let t1 = std::time::Instant::now();
-        assert_eq!(client.pull(vec![]), Vec::<f32>::new());
+        assert_eq!(client.pull(vec![]).unwrap(), Vec::<f32>::new());
         assert!(t1.elapsed() < std::time::Duration::from_millis(2));
     }
 
@@ -239,8 +406,8 @@ mod tests {
         let server =
             RpcServer::spawn_traced(kv(), std::time::Duration::from_millis(1), Arc::clone(&rec));
         let client = server.client();
-        assert_eq!(client.pull(vec![1]), vec![1.0, 1.5]);
-        assert_eq!(client.pull(vec![3]), vec![3.0, 3.5]);
+        assert_eq!(client.pull(vec![1]).unwrap(), vec![1.0, 1.5]);
+        assert_eq!(client.pull(vec![3]).unwrap(), vec![3.0, 3.5]);
         server.shutdown();
         let t = rec.snapshot();
         let rpc = t.phase(Phase::Rpc).unwrap();
@@ -258,7 +425,7 @@ mod tests {
     #[test]
     fn empty_pull() {
         let server = RpcServer::spawn(kv());
-        assert_eq!(server.client().pull(vec![]), Vec::<f32>::new());
+        assert_eq!(server.client().pull(vec![]).unwrap(), Vec::<f32>::new());
     }
 
     #[test]
@@ -266,13 +433,94 @@ mod tests {
         let server = RpcServer::spawn(kv());
         let client = server.client();
         drop(server); // must not hang
-                      // Client sends now fail; that's expected after shutdown.
-        let (rtx, _rrx) = bounded(1);
-        // The send may fail (disconnected) or be silently dropped; either
-        // way it must return rather than hang on a dead server.
-        let _ = client.tx.send(Request::Pull {
-            ids: vec![],
-            reply: rtx,
+        assert_eq!(client.pull(vec![1]), Err(RpcError::ServerGone));
+        assert!(client.pull_async(vec![1]).is_err());
+    }
+
+    #[test]
+    fn wait_after_server_crash_errors_instead_of_hanging() {
+        // Crash budget 0: the server dies on its first request without
+        // replying — exactly the mid-request death that used to panic
+        // `wait` via `expect("server dropped reply")`.
+        let plan = plan_with(|p| {
+            p.crash_part = Some(0);
+            p.crash_after = 0;
         });
+        let server = RpcServer::spawn_planned(kv(), std::time::Duration::ZERO, Some(plan));
+        let client = server.client();
+        let handle = client.pull_async(vec![1]).unwrap();
+        assert_eq!(handle.wait().unwrap_err(), RpcError::ServerGone);
+        // The server is dead for good: later sends fail fast too.
+        assert_eq!(client.pull(vec![3]), Err(RpcError::ServerGone));
+        assert_eq!(server.shutdown(), 0);
+    }
+
+    #[test]
+    fn crash_after_n_serves_n_then_dies() {
+        let plan = plan_with(|p| {
+            p.crash_part = Some(0);
+            p.crash_after = 2;
+        });
+        let server = RpcServer::spawn_planned(kv(), std::time::Duration::ZERO, Some(plan));
+        let client = server.client();
+        assert_eq!(client.pull(vec![1]).unwrap(), vec![1.0, 1.5]);
+        assert_eq!(client.pull(vec![3, 5]).unwrap(), vec![3.0, 3.5, 5.0, 5.5]);
+        let handle = client.pull_async(vec![5]).unwrap();
+        assert_eq!(handle.wait().unwrap_err(), RpcError::ServerGone);
+        assert_eq!(server.shutdown(), 3);
+    }
+
+    #[test]
+    fn dropped_reply_times_out() {
+        let plan = plan_with(|p| p.drop_prob = 1.0);
+        let server = RpcServer::spawn_planned(kv(), std::time::Duration::ZERO, Some(plan));
+        let handle = server.client().pull_async(vec![1]).unwrap();
+        let t0 = std::time::Instant::now();
+        let err = handle
+            .wait_timeout(std::time::Duration::from_millis(10))
+            .unwrap_err();
+        assert_eq!(err, RpcError::Timeout);
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(10));
+        // The server is still alive — it swallowed the reply, it did not
+        // die — so shutdown drains normally.
+        assert_eq!(server.shutdown(), 0);
+    }
+
+    #[test]
+    fn truncated_payload_detected() {
+        let plan = plan_with(|p| p.truncate_prob = 1.0);
+        let server = RpcServer::spawn_planned(kv(), std::time::Duration::ZERO, Some(plan));
+        let err = server.client().pull(vec![1, 3]).unwrap_err();
+        assert_eq!(
+            err,
+            RpcError::Truncated {
+                expected: 4,
+                got: 2
+            }
+        );
+        // Truncating an empty pull is a no-op, not an error.
+        assert_eq!(server.client().pull(vec![]).unwrap(), Vec::<f32>::new());
+    }
+
+    #[test]
+    fn delay_verdict_tags_reply_without_wall_sleep() {
+        let plan = plan_with(|p| {
+            p.delay_prob = 1.0;
+            p.delay_factor = 7;
+        });
+        let server = RpcServer::spawn_planned(kv(), std::time::Duration::ZERO, Some(plan));
+        let resp = server.client().pull_async(vec![5]).unwrap().wait().unwrap();
+        assert_eq!(resp.payload, vec![5.0, 5.5]);
+        assert_eq!(resp.delay_k, 7, "delay rides the reply as a sim-time tag");
+    }
+
+    #[test]
+    fn unowned_id_is_typed_error_and_server_survives() {
+        let server = RpcServer::spawn(kv());
+        let client = server.client();
+        let err = client.pull(vec![1, 2]).unwrap_err();
+        assert_eq!(err, RpcError::Kv(KvError { node: 2, part: 0 }));
+        // The server did not die serving the bad request.
+        assert_eq!(client.pull(vec![1]).unwrap(), vec![1.0, 1.5]);
     }
 }

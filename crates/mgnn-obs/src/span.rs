@@ -41,10 +41,18 @@ pub enum Phase {
     Train,
     /// Ring-allreduce portion of the training step.
     Allreduce,
+    /// Simulated time lost to faults (injected delays, retries,
+    /// backoff). Out of band: unlike the per-step pipeline phases it
+    /// only appears on steps where a fault fired, so it is excluded
+    /// from [`Phase::ALL`] (whose consumers assert one span per step).
+    Fault,
 }
 
 impl Phase {
-    /// All phases, in stable display/index order.
+    /// The per-step pipeline phases, in stable display/index order.
+    /// Does **not** include [`Phase::Fault`], which occurs at most once
+    /// per step and only under chaos; use [`Phase::REPORTED`] to cover
+    /// everything a recorder can hold.
     pub const ALL: [Phase; 8] = [
         Phase::Sampling,
         Phase::Lookup,
@@ -54,6 +62,20 @@ impl Phase {
         Phase::Copy,
         Phase::Train,
         Phase::Allreduce,
+    ];
+
+    /// Every phase a recorder can report: [`Phase::ALL`] plus the
+    /// out-of-band fault phase.
+    pub const REPORTED: [Phase; 9] = [
+        Phase::Sampling,
+        Phase::Lookup,
+        Phase::Scoring,
+        Phase::Evict,
+        Phase::Rpc,
+        Phase::Copy,
+        Phase::Train,
+        Phase::Allreduce,
+        Phase::Fault,
     ];
 
     /// Dense index into per-phase arrays.
@@ -67,6 +89,7 @@ impl Phase {
             Phase::Copy => 5,
             Phase::Train => 6,
             Phase::Allreduce => 7,
+            Phase::Fault => 8,
         }
     }
 
@@ -81,6 +104,7 @@ impl Phase {
             Phase::Copy => "copy",
             Phase::Train => "train",
             Phase::Allreduce => "allreduce",
+            Phase::Fault => "fault",
         }
     }
 }
@@ -98,6 +122,11 @@ pub enum Lane {
     /// A KVStore server thread recording real wall-clock service spans;
     /// offsets are absolute wall seconds since the recorder was created.
     Server,
+    /// Fault activity (retries, backoff, injected delays) charged to the
+    /// simulated clock; offsets are relative to the step's
+    /// `prep_start_s`, like [`Lane::Prepare`] — faults strike during
+    /// preparation.
+    Fault,
 }
 
 impl Lane {
@@ -107,6 +136,7 @@ impl Lane {
             Lane::Prepare => "prepare",
             Lane::Train => "train",
             Lane::Server => "server",
+            Lane::Fault => "fault",
         }
     }
 
@@ -116,6 +146,7 @@ impl Lane {
             Lane::Train => 1,
             Lane::Prepare => 2,
             Lane::Server => 3,
+            Lane::Fault => 4,
         }
     }
 }
@@ -230,10 +261,10 @@ impl TrainerTrace {
     pub fn absolute_start_s(&self, ev: &SpanEvent) -> Option<f64> {
         match ev.lane {
             Lane::Server => Some(ev.rel_start_s),
-            Lane::Prepare | Lane::Train => {
+            Lane::Prepare | Lane::Train | Lane::Fault => {
                 let a = self.anchors.iter().find(|a| a.step == ev.step)?;
                 Some(match ev.lane {
-                    Lane::Prepare => a.prep_start_s + ev.rel_start_s,
+                    Lane::Prepare | Lane::Fault => a.prep_start_s + ev.rel_start_s,
                     _ => a.train_start_s + ev.rel_start_s,
                 })
             }
@@ -246,8 +277,8 @@ struct Inner {
     ring: VecDeque<SpanEvent>,
     capacity: usize,
     dropped: u64,
-    hist: [LatencyHistogram; 8],
-    sum_s: [f64; 8],
+    hist: [LatencyHistogram; 9],
+    sum_s: [f64; 9],
     anchors: Vec<StepAnchor>,
     series: Vec<StepPoint>,
 }
@@ -286,7 +317,7 @@ impl SpanRecorder {
                 capacity,
                 dropped: 0,
                 hist: Default::default(),
-                sum_s: [0.0; 8],
+                sum_s: [0.0; 9],
                 anchors: Vec::new(),
                 series: Vec::new(),
             }),
@@ -345,7 +376,7 @@ impl SpanRecorder {
     /// Snapshot everything recorded so far into plain data.
     pub fn snapshot(&self) -> TrainerTrace {
         let g = self.inner.lock().unwrap();
-        let phases = Phase::ALL
+        let phases = Phase::REPORTED
             .iter()
             .filter(|p| g.hist[p.index()].count() > 0)
             .map(|&p| {
@@ -566,6 +597,31 @@ mod tests {
         assert_eq!(t.series.len(), 5);
         assert_eq!(t.series[4].hits, 4);
         assert!((t.series[4].hit_rate() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_phase_is_out_of_band_but_reported() {
+        assert!(!Phase::ALL.contains(&Phase::Fault));
+        assert!(Phase::REPORTED.contains(&Phase::Fault));
+        assert_eq!(Phase::REPORTED[..8], Phase::ALL);
+        assert_eq!(Phase::Fault.index(), 8);
+        assert_eq!(Phase::Fault.name(), "fault");
+        assert_eq!(Lane::Fault.tid(), 4);
+
+        let r = SpanRecorder::for_trainer(0, 0);
+        r.record(Lane::Fault, 2, Phase::Fault, 0.001, 0.05);
+        r.record_anchor(StepAnchor {
+            step: 2,
+            prep_start_s: 1.0,
+            train_start_s: 2.0,
+        });
+        let t = r.snapshot();
+        let f = t.phase(Phase::Fault).unwrap();
+        assert_eq!(f.count, 1);
+        assert!((f.sum_s - 0.05).abs() < 1e-15);
+        // Fault spans anchor to the prepare window, like prepare spans.
+        let ev = t.events.iter().find(|e| e.lane == Lane::Fault).unwrap();
+        assert_eq!(t.absolute_start_s(ev), Some(1.001));
     }
 
     #[test]

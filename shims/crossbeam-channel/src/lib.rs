@@ -36,6 +36,15 @@ pub enum TryRecvError {
     Disconnected,
 }
 
+/// Outcome of a bounded-wait receive attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The wait elapsed without a message arriving.
+    Timeout,
+    /// No message available and all senders dropped.
+    Disconnected,
+}
+
 struct State<T> {
     queue: VecDeque<T>,
     senders: usize,
@@ -144,6 +153,33 @@ impl<T> Receiver<T> {
         }
     }
 
+    /// Take the next message, waiting at most `timeout` for one to
+    /// arrive. Disconnection still drains queued messages first.
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut st = self.chan.state.lock().unwrap();
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                drop(st);
+                self.chan.not_full.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, _) = self
+                .chan
+                .not_empty
+                .wait_timeout(st, deadline - now)
+                .unwrap();
+            st = guard;
+        }
+    }
+
     /// Take the next message if one is ready, without blocking.
     pub fn try_recv(&self) -> Result<T, TryRecvError> {
         let mut st = self.chan.state.lock().unwrap();
@@ -184,7 +220,16 @@ impl<T> Drop for Receiver<T> {
         let mut st = self.chan.state.lock().unwrap();
         st.receivers -= 1;
         if st.receivers == 0 {
+            // Destroy undeliverable messages now rather than when the
+            // last sender goes away. A message can carry live resources
+            // (e.g. a one-shot reply Sender); holding it in a queue
+            // nobody can ever drain would pin those resources and leave
+            // the other side blocked forever. Dropping them here runs
+            // their destructors, which is exactly the disconnect signal
+            // the other side needs.
+            let orphans: VecDeque<T> = std::mem::take(&mut st.queue);
             drop(st);
+            drop(orphans);
             self.chan.not_full.notify_all();
         }
     }
@@ -243,6 +288,46 @@ mod tests {
         assert_eq!(rx.try_recv(), Ok(5));
         drop(tx);
         assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn last_receiver_drop_destroys_queued_messages() {
+        // A queued message carrying a one-shot reply Sender must be
+        // destroyed when the channel becomes undeliverable, so the
+        // party waiting on the reply sees a disconnect instead of
+        // blocking forever.
+        let (reply_tx, reply_rx) = bounded::<u8>(1);
+        let (tx, rx) = unbounded::<Sender<u8>>();
+        tx.send(reply_tx).unwrap(); // in flight, never received
+        drop(rx); // server died with the request still queued
+        assert_eq!(reply_rx.recv(), Err(RecvError));
+        assert!(tx.send(bounded::<u8>(1).0).is_err(), "sends now fail fast");
+    }
+
+    #[test]
+    fn recv_timeout_states() {
+        use std::time::Duration;
+        let (tx, rx) = unbounded::<u32>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Ok(9));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+
+        // A message sent from another thread mid-wait is picked up.
+        let (tx, rx) = unbounded::<u32>();
+        let t = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(10));
+            tx.send(3).unwrap();
+        });
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(3));
+        t.join().unwrap();
     }
 
     #[test]
