@@ -135,10 +135,21 @@ impl PrefetchBuffer {
     /// vectors preserve input order exactly like the serial loop, at
     /// any thread count.
     pub fn probe_batch(&self, sampled: &[u32]) -> (Vec<u32>, Vec<u32>) {
+        let mut hits = Vec::new();
+        let mut misses = Vec::new();
+        self.probe_batch_into(sampled, &mut hits, &mut misses);
+        (hits, misses)
+    }
+
+    /// [`probe_batch`](Self::probe_batch) into caller-owned buffers
+    /// (cleared first), so the steady-state prepare loop reuses the same
+    /// two vectors every step. Output order is identical on both size
+    /// paths — `partition_map` combines per-chunk results in chunk order.
+    pub fn probe_batch_into(&self, sampled: &[u32], hits: &mut Vec<u32>, misses: &mut Vec<u32>) {
         const PAR_THRESHOLD: usize = 4096;
+        hits.clear();
+        misses.clear();
         if sampled.len() < PAR_THRESHOLD {
-            let mut hits = Vec::new();
-            let mut misses = Vec::new();
             for &h in sampled {
                 if self.contains(h) {
                     hits.push(h);
@@ -146,16 +157,17 @@ impl PrefetchBuffer {
                     misses.push(h);
                 }
             }
-            (hits, misses)
         } else {
             use rayon::prelude::*;
-            sampled.par_iter().partition_map(|&h| {
+            let (h, m): (Vec<u32>, Vec<u32>) = sampled.par_iter().partition_map(|&h| {
                 if self.contains(h) {
                     rayon::iter::Either::Left(h)
                 } else {
                     rayon::iter::Either::Right(h)
                 }
-            })
+            });
+            hits.extend_from_slice(&h);
+            misses.extend_from_slice(&m);
         }
     }
 

@@ -20,7 +20,7 @@ use crate::config::PrefetchConfig;
 use crate::hitrate::HitRateTracker;
 use crate::init::{initialize_prefetcher, InitReport};
 use crate::pipeline::PrefetchPipeline;
-use crate::prefetcher::{baseline_prepare, Prefetcher, PreparedBatch};
+use crate::prefetcher::{Prefetcher, PreparedBatch};
 use mgnn_graph::{Dataset, DatasetKind, Scale};
 use mgnn_model::{
     train::{forward_backward, StepStats},
@@ -35,7 +35,7 @@ use mgnn_partition::{
 };
 use mgnn_sampling::{DataLoader, NeighborSampler, SamplingStrategy};
 use serde::Serialize;
-use std::sync::{Arc, Barrier, Mutex};
+use std::sync::{Arc, Barrier};
 
 /// Baseline DistDGL vs the paper's prefetch scheme.
 #[derive(Debug, Clone, Copy)]
@@ -122,6 +122,12 @@ pub struct EngineConfig {
     /// Retry/backoff policy failed pulls follow when `fault` is active.
     /// Backoff is charged to the *simulated* clock, never slept.
     pub retry: RetryPolicy,
+    /// Recycle per-step buffers (prepare scratch, `PreparedBatch`
+    /// carcasses, gradient-exchange arena, optimizer scratch) so the
+    /// steady-state hot loop performs no heap allocation. Off restores
+    /// allocate-per-step behavior; reports are bitwise-identical either
+    /// way.
+    pub pooling: bool,
 }
 
 impl Default for EngineConfig {
@@ -147,6 +153,7 @@ impl Default for EngineConfig {
             trace: false,
             fault: None,
             retry: RetryPolicy::default(),
+            pooling: true,
         }
     }
 }
@@ -345,6 +352,15 @@ struct TrainerState {
     pending: Option<PreparedBatch>,
     halo_frac_sum: f64,
     peak_step_bytes: usize,
+    /// Pooled parameter buffer for [`apply_averaged_grads`]
+    /// (write-params → optimizer step → read-params round trip).
+    params_scratch: Vec<f32>,
+    /// Pooled per-step preparation scratch (baseline mode's inline
+    /// prepares; the prefetch pipeline thread owns its own inside the
+    /// [`Prefetcher`]).
+    prep_scratch: crate::prefetcher::PrepareScratch,
+    /// Consumed batch awaiting recycling into the next inline prepare.
+    carcass: Option<PreparedBatch>,
 }
 
 /// Read-only per-run context shared by the sequential loop and every
@@ -357,6 +373,168 @@ struct StepCtx<'a> {
     cost: &'a CostModel,
     world: usize,
     param_bytes: usize,
+}
+
+/// Whether OS threads can actually run concurrently here: true when the
+/// user pinned a pool size via `MGNN_THREADS` (explicit intent — tests
+/// and CI use it to force the threaded engine) or the host exposes more
+/// than one core. Errors probing the core count err toward threading.
+fn real_parallelism_available() -> bool {
+    if std::env::var_os("MGNN_THREADS").is_some() {
+        return true;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get() > 1)
+        .unwrap_or(true)
+}
+
+/// f32 lanes per cache line.
+const CELL_F32: usize = 16;
+
+/// One 64-byte cache line of interior-mutable f32 storage. `repr(C)`
+/// pins the `UnsafeCell` at offset 0 and `[f32; 16]` fills the line
+/// exactly, so every byte of a `CacheCell` is inside its `UnsafeCell` —
+/// the property that makes writing through pointers derived from a
+/// shared `&[CacheCell]` sound.
+#[repr(C, align(64))]
+struct CacheCell(std::cell::UnsafeCell<[f32; CELL_F32]>);
+
+/// Lock-free DDP gradient exchange: one cache-line-aligned gradient slot
+/// per trainer plus a shared average region, in a single arena allocated
+/// once per run. Replaces the `Mutex<Vec<Vec<f32>>>` + leader-allreduce
+/// scheme — no lock, no per-step allocation, no single-threaded
+/// reduction: thread `t` reduces ring chunk `t`, and the chunk grid is a
+/// pure function of the gradient length ([`mgnn_model::ring_chunk_bounds`]),
+/// so the f32 accumulation order — and therefore every low mantissa bit —
+/// is independent of thread count and identical to the sequential ring.
+///
+/// Slot starts are padded to a whole number of cache lines, so two
+/// trainers writing their slots concurrently never share a line (no
+/// false sharing, and no cross-thread byte overlap at all).
+///
+/// # Phase protocol (threaded engine)
+///
+/// ```text
+/// write own slot t   -- disjoint &mut [f32] per thread
+///     barrier
+/// reduce chunk t     -- shared reads of all slots, disjoint &mut of avg
+///     barrier
+/// apply shared avg   -- shared reads of avg
+/// ```
+///
+/// Each phase's references are created inside the phase and dropped
+/// before the barrier, so no `&mut` coexists with an aliasing access.
+/// The barriers publish writes (acquire/release) between phases. A
+/// thread looping into the next step writes only its own slot, which no
+/// other thread touches outside the reduce phase it cannot reach before
+/// the same barrier.
+struct GradExchange {
+    cells: Box<[CacheCell]>,
+    len: usize,
+    cells_per_slot: usize,
+    world: usize,
+}
+
+// SAFETY: all shared mutation goes through `UnsafeCell` under the phase
+// protocol above; disjointness of the mutable views is structural
+// (per-thread slot index, per-thread ring chunk).
+unsafe impl Sync for GradExchange {}
+
+impl GradExchange {
+    /// Arena for `world` gradient buffers of `len` f32s (+ the shared
+    /// average region), zero-initialized.
+    fn new(world: usize, len: usize) -> Self {
+        assert!(world > 0);
+        let cells_per_slot = len.div_ceil(CELL_F32).max(1);
+        let cells: Box<[CacheCell]> = (0..cells_per_slot * (world + 1))
+            .map(|_| CacheCell(std::cell::UnsafeCell::new([0.0; CELL_F32])))
+            .collect();
+        GradExchange {
+            cells,
+            len,
+            cells_per_slot,
+            world,
+        }
+    }
+
+    /// Gradient length.
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    /// First f32 of region `r` (slots `0..world`; the average at `world`).
+    /// Provenance covers the whole arena: derived from the full-slice
+    /// pointer, not a single element's.
+    #[inline]
+    fn region_ptr(&self, r: usize) -> *mut f32 {
+        debug_assert!(r <= self.world);
+        unsafe { (self.cells.as_ptr() as *mut f32).add(r * self.cells_per_slot * CELL_F32) }
+    }
+
+    /// Exclusive view of trainer `t`'s gradient slot.
+    ///
+    /// # Safety
+    /// Caller must hold exclusive access to slot `t` for the lifetime of
+    /// the returned slice (write phase: each thread touches only its own
+    /// `t`; no reader exists until after the next barrier).
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn slot_mut(&self, t: usize) -> &mut [f32] {
+        std::slice::from_raw_parts_mut(self.region_ptr(t), self.len)
+    }
+
+    /// Shared view of trainer `t`'s gradient slot.
+    ///
+    /// # Safety
+    /// No `&mut` to slot `t` may be live (reduce phase: all slots are
+    /// read-only between the two barriers).
+    unsafe fn slot(&self, t: usize) -> &[f32] {
+        std::slice::from_raw_parts(self.region_ptr(t), self.len)
+    }
+
+    /// Exclusive view of ring chunk `c` of the shared average region.
+    ///
+    /// # Safety
+    /// Caller must hold exclusive access to chunk `c` (reduce phase:
+    /// each thread reduces only its own chunk; chunks tile `0..len`
+    /// without overlap).
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn avg_chunk_mut(&self, c: usize) -> &mut [f32] {
+        let (s, e) = mgnn_model::ring_chunk_bounds(self.len, self.world, c);
+        std::slice::from_raw_parts_mut(self.region_ptr(self.world).add(s), e - s)
+    }
+
+    /// Shared view of the full averaged gradient.
+    ///
+    /// # Safety
+    /// No `&mut` into the average region may be live (apply phase, after
+    /// the post-reduce barrier).
+    unsafe fn avg(&self) -> &[f32] {
+        std::slice::from_raw_parts(self.region_ptr(self.world), self.len)
+    }
+
+    /// Run the whole exchange on one thread (the sequential engine):
+    /// write every trainer's slot, reduce all chunks, return the shared
+    /// average. Same arena, same arithmetic, no aliasing subtleties.
+    fn reduce_all(&mut self, mut write_slot: impl FnMut(usize, &mut [f32])) -> &[f32] {
+        for t in 0..self.world {
+            // SAFETY: `&mut self` guarantees exclusivity; views are
+            // created and dropped one at a time.
+            write_slot(t, unsafe { self.slot_mut(t) });
+        }
+        for c in 0..self.world {
+            let dst = unsafe { self.avg_chunk_mut(c) };
+            mgnn_model::reduce_ring_chunk_average_with(
+                c,
+                self.world,
+                self.len,
+                // SAFETY: slots are read-only while `dst` (average
+                // region) is the only live mutable view.
+                |r| unsafe { self.slot(r) },
+                dst,
+            );
+        }
+        unsafe { self.avg() }
+    }
 }
 
 impl TrainerState {
@@ -408,8 +586,11 @@ impl TrainerState {
         );
         self.breakdown.train_s += t_train;
 
-        // Real math, if enabled.
+        // Real math, if enabled. Model math is workload, not trainer-loop
+        // bookkeeping — its allocations are excluded from the hot count.
         let stats = self.model.as_mut().map(|model| {
+            #[cfg(feature = "alloc-count")]
+            let _workload = crate::alloc::ExcludeGuard::new();
             forward_backward(
                 model.as_mut(),
                 &batch.minibatch.blocks,
@@ -486,13 +667,16 @@ impl TrainerState {
     }
 
     /// DDP update with pre-averaged gradients: one optimizer step applied
-    /// to the local replica (identical arithmetic on both engines).
+    /// to the local replica (identical arithmetic on both engines). The
+    /// parameter round-trip buffer is pooled — after the first step it
+    /// never reallocates.
     fn apply_averaged_grads(&mut self, grads: &[f32]) {
         let m = self.model.as_mut().unwrap();
-        let mut params = vec![0.0f32; m.num_params()];
-        m.write_params(&mut params);
-        self.opt.step(&mut params, grads);
-        m.read_params(&params);
+        self.params_scratch.clear();
+        self.params_scratch.resize(m.num_params(), 0.0);
+        m.write_params(&mut self.params_scratch);
+        self.opt.step(&mut self.params_scratch, grads);
+        m.read_params(&self.params_scratch);
     }
 }
 
@@ -596,6 +780,7 @@ impl Engine {
         let cfg = &self.cfg;
         let cost = &cfg.cost;
         let num_global = self.dataset.num_nodes();
+        let total_steps = cfg.epochs * self.steps_per_epoch();
         self.trainer_shards
             .iter()
             .enumerate()
@@ -612,7 +797,7 @@ impl Engine {
                 let prefetcher = match cfg.mode {
                     Mode::Baseline => None,
                     Mode::Prefetch(pcfg) => {
-                        let (pf, rep) = initialize_prefetcher(
+                        let (mut pf, rep) = initialize_prefetcher(
                             &part,
                             pcfg,
                             num_global,
@@ -620,6 +805,7 @@ impl Engine {
                             cost,
                             &metrics,
                         );
+                        pf.set_pooling(cfg.pooling);
                         init = rep;
                         Some(pf)
                     }
@@ -647,7 +833,11 @@ impl Engine {
                     metrics,
                     recorder,
                     clock: SimClock::new(),
-                    hits: HitRateTracker::new(),
+                    hits: {
+                        let mut h = HitRateTracker::new();
+                        h.reserve(total_steps);
+                        h
+                    },
                     breakdown: Breakdown::default(),
                     init,
                     model: if cfg.train_math {
@@ -659,6 +849,9 @@ impl Engine {
                     pending: None,
                     halo_frac_sum: 0.0,
                     peak_step_bytes: 0,
+                    params_scratch: Vec::new(),
+                    prep_scratch: crate::prefetcher::PrepareScratch::default(),
+                    carcass: None,
                 }
             })
             .collect()
@@ -669,8 +862,15 @@ impl Engine {
     /// prefetch mode) and the run report is bitwise-identical to the
     /// sequential engine's; otherwise the trainers are stepped round-robin
     /// on the calling thread.
+    ///
+    /// `parallel` is adaptive: on a host without real parallelism
+    /// (one core and no `MGNN_THREADS` override), spawning trainer
+    /// threads only adds scheduling overhead, so the engine falls back to
+    /// the sequential stepper — legal precisely because the two paths are
+    /// bitwise-identical. Setting `MGNN_THREADS` forces the threaded path
+    /// (the determinism CI matrix relies on this).
     pub fn run(&self) -> RunReport {
-        if self.cfg.parallel {
+        if self.cfg.parallel && real_parallelism_available() {
             self.run_parallel()
         } else {
             self.run_sequential()
@@ -719,29 +919,50 @@ impl Engine {
         let mut epoch_acc = Vec::new();
         let total_steps = cfg.epochs * steps_per_epoch;
 
+        // One gradient arena for the whole run: per-trainer padded slots
+        // plus the shared average, reduced with the same chunked ring
+        // arithmetic the threaded engine uses.
+        let mut exchange = cfg
+            .train_math
+            .then(|| GradExchange::new(world, shape_model.num_params()));
+
         let mut global_step = 0u64;
         for epoch in 0..cfg.epochs as u64 {
             let mut loss_sum = 0.0f64;
             let mut acc_sum = 0.0f64;
             let mut stat_count = 0usize;
             for step in 0..steps_per_epoch as u64 {
+                #[cfg(feature = "alloc-count")]
+                let hot_start = (
+                    crate::alloc::thread_allocs(),
+                    crate::alloc::thread_excluded(),
+                );
                 // Each trainer: obtain current batch, compute training
                 // time, prepare next batch (prefetch) or account serially
                 // (baseline).
                 for ts in trainers.iter_mut() {
                     let batch = match cfg.mode {
                         Mode::Baseline => {
-                            let seeds = ts.loader.epoch(epoch)[step as usize].clone();
-                            let b = baseline_prepare(
-                                &ts.part,
-                                &ts.sampler,
-                                &seeds,
-                                epoch,
-                                global_step,
-                                &self.cluster,
-                                cost,
-                                &ts.metrics,
-                            );
+                            if !cfg.pooling {
+                                ts.prep_scratch = crate::prefetcher::PrepareScratch::default();
+                            }
+                            let b = {
+                                #[cfg(feature = "alloc-count")]
+                                let _workload = crate::alloc::ExcludeGuard::new();
+                                let seeds = ts.loader.epoch(epoch)[step as usize].clone();
+                                crate::prefetcher::baseline_prepare_reuse(
+                                    ts.carcass.take(),
+                                    &mut ts.prep_scratch,
+                                    &ts.part,
+                                    &ts.sampler,
+                                    &seeds,
+                                    epoch,
+                                    global_step,
+                                    &self.cluster,
+                                    cost,
+                                    &ts.metrics,
+                                )
+                            };
                             ts.account_prepared(&b, true);
                             b
                         }
@@ -755,51 +976,68 @@ impl Engine {
                         stat_count += 1;
                     }
 
-                    // Prefetch: prepare the next minibatch (the threaded
-                    // engine runs this on a real prepare thread; here it
-                    // interleaves with training and the overlap is modeled
-                    // by the pipeline clock).
-                    if matches!(cfg.mode, Mode::Prefetch(_)) {
-                        let next_global = global_step + 1;
-                        if (next_global as usize) < total_steps {
-                            let (nepoch, nstep) = (
-                                next_global / steps_per_epoch as u64,
-                                next_global % steps_per_epoch as u64,
-                            );
-                            let seeds = ts.loader.epoch(nepoch)[nstep as usize].clone();
-                            let pf = ts.prefetcher.as_mut().unwrap();
-                            let next = pf.prepare(
-                                &ts.part,
-                                &ts.sampler,
-                                &seeds,
-                                nepoch,
-                                next_global,
-                                &self.cluster,
-                                cost,
-                                &ts.metrics,
-                            );
-                            ts.account_prepared(&next, false);
-                            ts.pending = Some(next);
+                    match cfg.mode {
+                        // Baseline: the consumed batch becomes the next
+                        // inline prepare's carcass.
+                        Mode::Baseline => {
+                            if cfg.pooling {
+                                ts.carcass = Some(batch);
+                            }
+                        }
+                        // Prefetch: prepare the next minibatch (the
+                        // threaded engine runs this on a real prepare
+                        // thread; here it interleaves with training and
+                        // the overlap is modeled by the pipeline clock),
+                        // dismantling the just-consumed batch.
+                        Mode::Prefetch(_) => {
+                            let next_global = global_step + 1;
+                            if (next_global as usize) < total_steps {
+                                let (nepoch, nstep) = (
+                                    next_global / steps_per_epoch as u64,
+                                    next_global % steps_per_epoch as u64,
+                                );
+                                let pf = ts.prefetcher.as_mut().unwrap();
+                                let next = {
+                                    #[cfg(feature = "alloc-count")]
+                                    let _workload = crate::alloc::ExcludeGuard::new();
+                                    let seeds = ts.loader.epoch(nepoch)[nstep as usize].clone();
+                                    pf.prepare_reuse(
+                                        cfg.pooling.then_some(batch),
+                                        &ts.part,
+                                        &ts.sampler,
+                                        &seeds,
+                                        nepoch,
+                                        next_global,
+                                        &self.cluster,
+                                        cost,
+                                        &ts.metrics,
+                                    )
+                                };
+                                ts.account_prepared(&next, false);
+                                ts.pending = Some(next);
+                            }
                         }
                     }
                 }
 
-                // DDP synchronization (real math only): average gradients
-                // across all trainers and step every optimizer.
-                if cfg.train_math {
-                    let mut grads: Vec<Vec<f32>> = trainers
-                        .iter()
-                        .map(|ts| {
-                            let m = ts.model.as_ref().unwrap();
-                            let mut g = vec![0.0f32; m.num_params()];
-                            m.write_grads(&mut g);
-                            g
-                        })
-                        .collect();
-                    mgnn_model::ring_allreduce_average(&mut grads);
-                    for (ts, g) in trainers.iter_mut().zip(&grads) {
-                        ts.apply_averaged_grads(g);
+                // DDP synchronization (real math only): write every
+                // trainer's gradients into its arena slot, reduce the
+                // shared average chunk by chunk, and step every optimizer
+                // with it — the allgather's "all ranks end bitwise
+                // identical" property makes the shared copy exact.
+                if let Some(ex) = exchange.as_mut() {
+                    let avg = ex.reduce_all(|t, slot| {
+                        trainers[t].model.as_ref().unwrap().write_grads(slot)
+                    });
+                    for ts in trainers.iter_mut() {
+                        ts.apply_averaged_grads(avg);
                     }
+                }
+                #[cfg(feature = "alloc-count")]
+                if epoch >= 1 {
+                    let hot = (crate::alloc::thread_allocs() - hot_start.0)
+                        - (crate::alloc::thread_excluded() - hot_start.1);
+                    crate::alloc::record_hot_step(hot);
                 }
                 global_step += 1;
             }
@@ -808,31 +1046,38 @@ impl Engine {
                 epoch_acc.push(acc_sum / stat_count as f64);
             }
         }
+        // Hot-step counts stay in the calling thread's accumulators
+        // (`alloc::take_hot`); callers that want process-wide totals call
+        // `alloc::flush_hot` themselves. The threaded engine's workers
+        // flush as they exit because their TLS dies with them.
 
         self.finalize(trainers, total_steps, epoch_loss, epoch_acc)
     }
 
     /// Threaded engine: one worker thread per trainer (plus one prepare
     /// thread per trainer in prefetch mode, via [`PrefetchPipeline`]).
-    /// With `train_math`, workers rendezvous at a per-step [`Barrier`]
-    /// whose leader ring-allreduces the gradient slots in fixed trainer
-    /// order — exactly the sequential engine's arithmetic — before each
-    /// worker applies its local optimizer step.
+    /// With `train_math`, workers exchange gradients through a lock-free
+    /// [`GradExchange`] arena: write own padded slot → barrier → reduce
+    /// own ring chunk of the shared average → barrier → apply. The chunk
+    /// arithmetic is exactly the sequential engine's (and the old leader
+    /// ring-allreduce's), so reports stay bitwise identical.
     fn run_parallel(&self) -> RunReport {
         let cfg = &self.cfg;
         let world = self.world();
         let steps_per_epoch = self.steps_per_epoch();
         let total_steps = cfg.epochs * steps_per_epoch;
         let trainers = self.build_trainer_states();
+        let num_params = self.make_model().num_params();
         let ctx = StepCtx {
             cfg,
             cost: &cfg.cost,
             world,
-            param_bytes: self.make_model().num_params() * 4,
+            param_bytes: num_params * 4,
         };
 
-        // One gradient slot per trainer, averaged by the barrier leader.
-        let grad_slots = Mutex::new(vec![Vec::<f32>::new(); world]);
+        // One cache-line-aligned gradient slot per trainer plus the
+        // shared average, allocated once for the whole run.
+        let exchange = cfg.train_math.then(|| GradExchange::new(world, num_params));
         let barrier = Barrier::new(world);
 
         let mut results: Vec<(TrainerState, Vec<StepStats>)> = Vec::with_capacity(world);
@@ -843,10 +1088,10 @@ impl Engine {
                 .map(|(t, mut ts)| {
                     let ctx = &ctx;
                     let barrier = &barrier;
-                    let grad_slots = &grad_slots;
+                    let exchange = &exchange;
                     s.spawn(move || {
                         let shape_model = self.make_model();
-                        let mut stats_log: Vec<StepStats> = Vec::new();
+                        let mut stats_log: Vec<StepStats> = Vec::with_capacity(total_steps);
                         // Prefetch mode: hand the prefetcher to a dedicated
                         // prepare thread walking the engine's epoch/step
                         // schedule; this worker consumes its bounded queue.
@@ -866,22 +1111,37 @@ impl Engine {
                         let mut global_step = 0u64;
                         for epoch in 0..cfg.epochs as u64 {
                             for step in 0..steps_per_epoch as u64 {
+                                #[cfg(feature = "alloc-count")]
+                                let hot_start = (
+                                    crate::alloc::thread_allocs(),
+                                    crate::alloc::thread_excluded(),
+                                );
                                 let batch = if let Some(feed) = &feed {
                                     let b = feed.next().expect("prepare thread ended early");
                                     ts.account_prepared(&b, false);
                                     b
                                 } else {
-                                    let seeds = ts.loader.epoch(epoch)[step as usize].clone();
-                                    let b = baseline_prepare(
-                                        &ts.part,
-                                        &ts.sampler,
-                                        &seeds,
-                                        epoch,
-                                        global_step,
-                                        &self.cluster,
-                                        ctx.cost,
-                                        &ts.metrics,
-                                    );
+                                    if !cfg.pooling {
+                                        ts.prep_scratch =
+                                            crate::prefetcher::PrepareScratch::default();
+                                    }
+                                    let b = {
+                                        #[cfg(feature = "alloc-count")]
+                                        let _workload = crate::alloc::ExcludeGuard::new();
+                                        let seeds = ts.loader.epoch(epoch)[step as usize].clone();
+                                        crate::prefetcher::baseline_prepare_reuse(
+                                            ts.carcass.take(),
+                                            &mut ts.prep_scratch,
+                                            &ts.part,
+                                            &ts.sampler,
+                                            &seeds,
+                                            epoch,
+                                            global_step,
+                                            &self.cluster,
+                                            ctx.cost,
+                                            &ts.metrics,
+                                        )
+                                    };
                                     ts.account_prepared(&b, true);
                                     b
                                 };
@@ -890,21 +1150,53 @@ impl Engine {
                                 {
                                     stats_log.push(stats);
                                 }
-                                if cfg.train_math {
-                                    // Per-step DDP barrier.
+                                // Return the consumed batch's buffers: to the
+                                // prepare thread in prefetch mode, or as the
+                                // next inline prepare's carcass in baseline.
+                                if cfg.pooling {
+                                    match &feed {
+                                        Some(feed) => feed.recycle(batch),
+                                        None => ts.carcass = Some(batch),
+                                    }
+                                }
+                                if let Some(ex) = exchange {
+                                    // Phase 1: publish own gradients. Slots
+                                    // are disjoint, so no lock is needed.
                                     {
                                         let m = ts.model.as_ref().unwrap();
-                                        let mut g = vec![0.0f32; m.num_params()];
-                                        m.write_grads(&mut g);
-                                        grad_slots.lock().unwrap()[t] = g;
-                                    }
-                                    if barrier.wait().is_leader() {
-                                        let mut slots = grad_slots.lock().unwrap();
-                                        mgnn_model::ring_allreduce_average(&mut slots);
+                                        // SAFETY: only thread `t` touches
+                                        // slot `t`, and no thread reads any
+                                        // slot until the barrier below.
+                                        m.write_grads(unsafe { ex.slot_mut(t) });
                                     }
                                     barrier.wait();
-                                    let g = std::mem::take(&mut grad_slots.lock().unwrap()[t]);
-                                    ts.apply_averaged_grads(&g);
+                                    // Phase 2: reduce own ring chunk of the
+                                    // shared average from the (now frozen)
+                                    // slots.
+                                    {
+                                        // SAFETY: avg chunks are disjoint
+                                        // per thread; slots are only read
+                                        // between the two barriers.
+                                        let dst = unsafe { ex.avg_chunk_mut(t) };
+                                        mgnn_model::reduce_ring_chunk_average_with(
+                                            t,
+                                            world,
+                                            ex.len(),
+                                            |r| unsafe { ex.slot(r) },
+                                            dst,
+                                        );
+                                    }
+                                    barrier.wait();
+                                    // Phase 3: everyone reads the shared
+                                    // average (writes resume only after the
+                                    // next step's phase-1 barrier).
+                                    ts.apply_averaged_grads(unsafe { ex.avg() });
+                                }
+                                #[cfg(feature = "alloc-count")]
+                                if epoch >= 1 {
+                                    let hot = (crate::alloc::thread_allocs() - hot_start.0)
+                                        - (crate::alloc::thread_excluded() - hot_start.1);
+                                    crate::alloc::record_hot_step(hot);
                                 }
                                 global_step += 1;
                             }
@@ -914,6 +1206,8 @@ impl Engine {
                         if let Some(feed) = feed {
                             ts.prefetcher = Some(feed.join());
                         }
+                        #[cfg(feature = "alloc-count")]
+                        crate::alloc::flush_hot();
                         (ts, stats_log)
                     })
                 })
@@ -1462,6 +1756,60 @@ mod tests {
         cfg.parallel = true;
         let par = Engine::build(cfg).run();
         assert_reports_identical(&seq, &par);
+    }
+
+    #[test]
+    fn pooling_off_bitwise_identical_to_pooled() {
+        // Buffer recycling is a pure allocation optimization: turning it
+        // off (fresh allocations every step, the pre-pooling behavior)
+        // must not change a single bit of the report, in either mode on
+        // either engine.
+        for prefetch in [false, true] {
+            let mut cfg = base_cfg();
+            cfg.train_math = true;
+            if prefetch {
+                cfg.mode = prefetch_mode();
+            }
+            let pooled = Engine::build(cfg.clone()).run();
+            cfg.pooling = false;
+            let fresh = Engine::build(cfg.clone()).run();
+            assert!(!pooled.final_params.is_empty());
+            assert_reports_identical(&pooled, &fresh);
+            cfg.parallel = true;
+            let fresh_par = Engine::build(cfg).run();
+            assert_reports_identical(&pooled, &fresh_par);
+        }
+    }
+
+    /// The PR's headline claim, proven by the counting allocator: once
+    /// the warmup epoch has stretched every pooled buffer to its
+    /// high-water mark, steady-state steps allocate *nothing* in the
+    /// trainer hot loop (preparation and model math are excluded as
+    /// workload; see `alloc`).
+    #[cfg(feature = "alloc-count")]
+    #[test]
+    fn steady_state_steps_allocate_nothing() {
+        for prefetch in [false, true] {
+            let mut cfg = base_cfg();
+            cfg.train_math = true;
+            cfg.epochs = 3;
+            if prefetch {
+                cfg.mode = prefetch_mode();
+            }
+            let engine = Engine::build(cfg);
+            let steps_per_epoch = engine.steps_per_epoch();
+            crate::alloc::take_hot(); // discard anything a previous run left
+            let report = engine.run();
+            assert!(!report.final_params.is_empty());
+            let (hot_allocs, hot_steps) = crate::alloc::take_hot();
+            // Sequential engine records on this thread: epochs 1..3.
+            assert_eq!(hot_steps, (2 * steps_per_epoch) as u64);
+            assert_eq!(
+                hot_allocs, 0,
+                "steady-state trainer loop must not allocate \
+                 ({hot_allocs} allocations over {hot_steps} steps, prefetch={prefetch})"
+            );
+        }
     }
 
     #[test]

@@ -30,6 +30,14 @@ impl HitRateTracker {
         self.misses.push(misses);
     }
 
+    /// Pre-size for `n` minibatches so steady-state `record` calls never
+    /// reallocate (the engine reserves the whole run's step count up
+    /// front).
+    pub fn reserve(&mut self, n: usize) {
+        self.hits.reserve(n);
+        self.misses.reserve(n);
+    }
+
     /// Number of recorded minibatches.
     pub fn len(&self) -> usize {
         self.hits.len()

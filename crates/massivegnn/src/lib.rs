@@ -57,6 +57,8 @@
 //! ```
 
 pub mod ablation;
+#[cfg(feature = "alloc-count")]
+pub mod alloc;
 pub mod buffer;
 pub mod config;
 pub mod engine;
@@ -73,4 +75,11 @@ pub use buffer::PrefetchBuffer;
 pub use config::{PrefetchConfig, ScoreLayout};
 pub use engine::{Engine, EngineConfig, Mode, RunReport};
 pub use mgnn_net::{FaultProfile, RetryPolicy};
-pub use prefetcher::Prefetcher;
+pub use prefetcher::{Prefetcher, PrepareScratch, PreparedBatch};
+
+/// With `alloc-count` on, the whole process allocates through the
+/// counting allocator, so the steady-state proof measures every code
+/// path — including shims and std collections.
+#[cfg(feature = "alloc-count")]
+#[global_allocator]
+static COUNTING_ALLOC: alloc::CountingAlloc = alloc::CountingAlloc;

@@ -27,8 +27,18 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// A running prepare thread feeding a bounded queue of minibatches.
+///
+/// A second, unbounded *recycle* channel flows the other way: the trainer
+/// returns consumed [`PreparedBatch`] carcasses via
+/// [`recycle`](Self::recycle) and the prepare thread opportunistically
+/// dismantles one per step ([`Prefetcher::prepare_reuse`]), so in steady
+/// state the feature matrix, block and label allocations circulate
+/// instead of being dropped and reallocated. Recycling is purely an
+/// allocation optimization — batch contents are bitwise-identical whether
+/// or not a carcass arrives in time.
 pub struct PrefetchPipeline {
     rx: Option<crossbeam_channel::Receiver<PreparedBatch>>,
+    recycle_tx: crossbeam_channel::Sender<PreparedBatch>,
     handle: Option<JoinHandle<Prefetcher>>,
 }
 
@@ -51,6 +61,7 @@ impl PrefetchPipeline {
     ) -> Self {
         let lookahead = prefetcher.cfg.lookahead;
         let (tx, rx) = crossbeam_channel::bounded::<PreparedBatch>(lookahead);
+        let (recycle_tx, recycle_rx) = crossbeam_channel::unbounded::<PreparedBatch>();
         let handle = std::thread::Builder::new()
             .name("prefetch-prepare".into())
             .spawn(move || {
@@ -59,7 +70,8 @@ impl PrefetchPipeline {
                 'outer: for epoch in 0..epochs as u64 {
                     let batches = loader.epoch(epoch);
                     for seeds in batches.iter().take(steps_per_epoch) {
-                        let batch = pf.prepare(
+                        let batch = pf.prepare_reuse(
+                            recycle_rx.try_recv().ok(),
                             &part,
                             &sampler,
                             seeds,
@@ -81,8 +93,15 @@ impl PrefetchPipeline {
             .expect("failed to spawn prepare thread");
         PrefetchPipeline {
             rx: Some(rx),
+            recycle_tx,
             handle: Some(handle),
         }
+    }
+
+    /// Return a consumed batch's allocations to the prepare thread. Lossy
+    /// by design: if the worker already exited, the carcass is dropped.
+    pub fn recycle(&self, batch: PreparedBatch) {
+        let _ = self.recycle_tx.send(batch);
     }
 
     /// Pop the next prepared minibatch (Algorithm 1 line 5, `Q.pop()`),
@@ -225,6 +244,56 @@ mod tests {
             assert_eq!(got.minibatch, exp.minibatch);
             assert_eq!(got.input.data(), exp.input.data());
             assert_eq!(got.labels, exp.labels);
+        }
+        assert!(pipeline.next().is_none());
+        assert_eq!(m1.snapshot(), m2.snapshot());
+    }
+
+    #[test]
+    fn recycled_batches_identical_to_fresh() {
+        // Same oracle as above, but the consumer returns every carcass, so
+        // later preparations run through the reuse path with dirty buffers.
+        let (part, cluster, n) = setup();
+        let cost = CostModel::default();
+        let cfg = PrefetchConfig {
+            delta: 4,
+            ..Default::default()
+        };
+        let loader = DataLoader::new(trainer_seeds(&part), 32, 5);
+        let steps = loader.batches_per_epoch();
+
+        let m1 = Arc::new(CommMetrics::new());
+        let (mut pf1, _) = initialize_prefetcher(&part, cfg, n, &cluster, &cost, &m1);
+        pf1.set_pooling(false);
+        let sampler = NeighborSampler::new(vec![4, 4], 9);
+        let mut expected = Vec::new();
+        let mut gs = 0u64;
+        for epoch in 0..2u64 {
+            for seeds in loader.epoch(epoch).iter().take(steps) {
+                expected.push(pf1.prepare(&part, &sampler, seeds, epoch, gs, &cluster, &cost, &m1));
+                gs += 1;
+            }
+        }
+
+        let m2 = Arc::new(CommMetrics::new());
+        let (pf2, _) = initialize_prefetcher(&part, cfg, n, &cluster, &cost, &m2);
+        let pipeline = PrefetchPipeline::spawn(
+            pf2,
+            Arc::clone(&part),
+            NeighborSampler::new(vec![4, 4], 9),
+            loader.clone(),
+            Arc::clone(&cluster),
+            cost,
+            Arc::clone(&m2),
+            2,
+            steps,
+        );
+        for exp in &expected {
+            let got = pipeline.next().expect("pipeline ended early");
+            assert_eq!(got.minibatch, exp.minibatch);
+            assert_eq!(got.input.data(), exp.input.data());
+            assert_eq!(got.labels, exp.labels);
+            pipeline.recycle(got);
         }
         assert!(pipeline.next().is_none());
         assert_eq!(m1.snapshot(), m2.snapshot());

@@ -16,6 +16,12 @@
 //! a failed *miss* fetch serves a zero row, and both are reported in
 //! [`PrepareCounts`]/[`CommMetrics`]. Fault time (injected delays,
 //! retries, backoff) is charged to `t_rpc`, so Eq. 3/6 see the loss.
+//!
+//! Steady-state preparation is allocation-free: every per-step vector
+//! lives in [`PrepareScratch`] (cleared, never dropped), the miss-row map
+//! is a stamp-validated array instead of a `HashMap`, and a recycled
+//! [`PreparedBatch`] carcass donates its minibatch blocks, feature matrix
+//! and label vector back to the next [`Prefetcher::prepare_reuse`] call.
 
 use crate::buffer::PrefetchBuffer;
 use crate::config::{PrefetchConfig, ScoreLayout};
@@ -24,7 +30,7 @@ use mgnn_graph::NodeId;
 use mgnn_net::{CommMetrics, CostModel, SimCluster};
 use mgnn_obs::Phase;
 use mgnn_partition::LocalPartition;
-use mgnn_sampling::{NeighborSampler, SampledMinibatch};
+use mgnn_sampling::{NeighborSampler, SampledMinibatch, SamplerScratch};
 use mgnn_tensor::Tensor;
 
 /// Modeled time breakdown of one minibatch preparation (Eq. 3 terms).
@@ -95,6 +101,43 @@ pub struct PreparedBatch {
     pub counts: PrepareCounts,
 }
 
+/// Reusable per-step scratch of one preparation pipeline. Every vector is
+/// cleared (never shrunk) at the start of each step, so after a warmup
+/// epoch has touched the high-water mark the prepare path performs no
+/// heap allocation. The miss-row map is a stamp-validated pair of arrays
+/// indexed by halo idx — `row_stamp[h] == stamp` marks `row_val[h]` as
+/// this step's fetch row for halo `h` — replacing the per-step `HashMap`
+/// (same mechanism as the prefetcher's `sampled_stamp` dedup).
+#[derive(Debug, Default)]
+pub struct PrepareScratch {
+    sampler: SamplerScratch,
+    local_ids: Vec<u32>,
+    halo_ids: Vec<u32>,
+    halo_idx: Vec<u32>,
+    hits: Vec<u32>,
+    misses: Vec<u32>,
+    miss_globals: Vec<NodeId>,
+    fetch_ids: Vec<NodeId>,
+    replacements: Vec<(u32, u32)>,
+    replacement_rows: Vec<usize>,
+    protect: Vec<u32>,
+    /// halo idx -> fetch row, valid when `row_stamp[h] == stamp`.
+    row_stamp: Vec<u64>,
+    row_val: Vec<u32>,
+    stamp: u64,
+}
+
+impl PrepareScratch {
+    fn mark_rows(&mut self, num_halo: usize) -> u64 {
+        self.stamp += 1;
+        if self.row_stamp.len() < num_halo {
+            self.row_stamp.resize(num_halo, 0);
+            self.row_val.resize(num_halo, 0);
+        }
+        self.stamp
+    }
+}
+
 /// Per-trainer prefetcher state (`BUF_p^i`, `S_E`, `S_A`).
 pub struct Prefetcher {
     /// Configuration in force.
@@ -111,6 +154,10 @@ pub struct Prefetcher {
     current_stamp: u64,
     /// Transient bytes high-water mark (eviction scratch), for Fig. 14.
     peak_transient_bytes: usize,
+    /// When false, per-step scratch is re-created fresh each call —
+    /// bitwise-identical outputs, baseline allocation behavior.
+    pooling: bool,
+    scratch: PrepareScratch,
 }
 
 impl Prefetcher {
@@ -133,12 +180,21 @@ impl Prefetcher {
             sampled_stamp: vec![0; num_halo],
             current_stamp: 0,
             peak_transient_bytes: 0,
+            pooling: true,
+            scratch: PrepareScratch::default(),
         }
     }
 
     /// The Eq. 1 threshold in force.
     pub fn alpha(&self) -> f64 {
         self.alpha
+    }
+
+    /// Enable or disable per-step scratch reuse. Outputs are
+    /// bitwise-identical either way; `false` restores the
+    /// allocate-per-step behavior (the pooled-vs-fresh oracle).
+    pub fn set_pooling(&mut self, on: bool) {
+        self.pooling = on;
     }
 
     /// Persistent heap bytes (buffer + scoreboards + stamp array).
@@ -169,34 +225,67 @@ impl Prefetcher {
         cost: &CostModel,
         metrics: &CommMetrics,
     ) -> PreparedBatch {
+        self.prepare_reuse(
+            None, part, sampler, seeds, epoch, step, cluster, cost, metrics,
+        )
+    }
+
+    /// [`prepare`](Self::prepare), recycling a consumed batch: the
+    /// carcass donates its minibatch blocks, feature matrix and label
+    /// vector, which are cleared and refilled in place. The produced
+    /// batch is bitwise-identical to a fresh preparation — gather fully
+    /// overwrites every feature row, so no stale bytes can leak.
+    #[allow(clippy::too_many_arguments)]
+    pub fn prepare_reuse(
+        &mut self,
+        reuse: Option<PreparedBatch>,
+        part: &LocalPartition,
+        sampler: &NeighborSampler,
+        seeds: &[u32],
+        epoch: u64,
+        step: u64,
+        cluster: &SimCluster,
+        cost: &CostModel,
+        metrics: &CommMetrics,
+    ) -> PreparedBatch {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        if !self.pooling {
+            scratch = PrepareScratch::default();
+        }
+        let (mut mb, mut input_vec, mut labels) = match reuse.filter(|_| self.pooling) {
+            Some(b) => (b.minibatch, b.input.into_vec(), b.labels),
+            None => (SampledMinibatch::default(), Vec::new(), Vec::new()),
+        };
+
         let num_local = part.num_local();
         let dim = cluster.dim();
 
         // Line 1: sample the neighborhood.
-        let mb = sampler.sample(part, seeds, epoch, step);
+        sampler.sample_into(part, seeds, epoch, step, &mut mb, &mut scratch.sampler);
         let t_sampling = cost.t_sampling(mb.total_edges());
 
         // Lines 2–3: split local / halo.
-        let (local_ids, halo_ids) = mb.split_local_halo(num_local);
+        mb.split_local_halo_into(num_local, &mut scratch.local_ids, &mut scratch.halo_ids);
 
         // Lines 4–5: hits and misses. Mark sampled halo indices with a
         // stamp so the decay pass below is O(buffer) without a set. The
         // stamp doubles as an O(1) dedup: `increment_batch` requires
         // unique ids (a duplicate would double-increment S_A) and
-        // `miss_row` assumes one row per missed node, so a halo node
-        // sampled twice in one minibatch must be processed once.
+        // the miss-row map assumes one row per missed node, so a halo
+        // node sampled twice in one minibatch must be processed once.
         self.current_stamp += 1;
         let stamp = self.current_stamp;
-        let mut halo_idx: Vec<u32> = Vec::with_capacity(halo_ids.len());
-        for &lid in &halo_ids {
+        scratch.halo_idx.clear();
+        for &lid in &scratch.halo_ids {
             let h = lid - num_local as u32;
             if self.sampled_stamp[h as usize] != stamp {
                 self.sampled_stamp[h as usize] = stamp;
-                halo_idx.push(h);
+                scratch.halo_idx.push(h);
             }
         }
-        let (hits, misses) = self.buffer.probe_batch(&halo_idx);
-        let t_lookup = cost.t_lookup(halo_ids.len() + self.buffer.len());
+        self.buffer
+            .probe_batch_into(&scratch.halo_idx, &mut scratch.hits, &mut scratch.misses);
+        let t_lookup = cost.t_lookup(scratch.halo_ids.len() + self.buffer.len());
 
         // Lines 6–9: decay S_E of buffered nodes not sampled this step;
         // a sampled (hit) node's score returns to the initial 1 (paper
@@ -216,21 +305,24 @@ impl Prefetcher {
         // Line 21: S_A increments for misses (batched; the memory-
         // efficient layout binary-searches in parallel, §IV-B).
         let halo_nodes = &part.halo_nodes;
-        let miss_globals: Vec<NodeId> = misses.iter().map(|&h| halo_nodes[h as usize]).collect();
-        self.s_a.increment_batch(halo_nodes, &miss_globals);
+        scratch.miss_globals.clear();
+        scratch
+            .miss_globals
+            .extend(scratch.misses.iter().map(|&h| halo_nodes[h as usize]));
+        self.s_a.increment_batch(halo_nodes, &scratch.miss_globals);
         let mem_eff = self.cfg.layout == ScoreLayout::MemEfficient;
-        let t_scoring = cost.t_scoring(decayed + misses.len(), mem_eff, part.num_halo());
+        let t_scoring = cost.t_scoring(decayed + scratch.misses.len(), mem_eff, part.num_halo());
 
         // Map miss halo idx -> row in the bulk fetch payload.
-        let mut miss_row: std::collections::HashMap<u32, usize> =
-            std::collections::HashMap::with_capacity(misses.len());
-        for (i, &h) in misses.iter().enumerate() {
-            miss_row.insert(h, i);
+        let rstamp = scratch.mark_rows(part.num_halo());
+        for (i, &h) in scratch.misses.iter().enumerate() {
+            scratch.row_stamp[h as usize] = rstamp;
+            scratch.row_val[h as usize] = i as u32;
         }
 
         // Lines 12–17: Δ-periodic evict-and-replace.
         let mut t_evict = 0.0;
-        let mut replacements: Vec<(u32, u32)> = Vec::new(); // (slot, new halo idx)
+        scratch.replacements.clear();
         if self.cfg.eviction
             && self.cfg.delta > 0
             && step > 0
@@ -240,12 +332,12 @@ impl Prefetcher {
             // protecting their slots keeps that copy semantics without
             // materializing it, and avoids evicting a node the sampler is
             // using this very minibatch.
-            let mut protect: Vec<u32> = hits
-                .iter()
-                .filter_map(|&h| self.buffer.slot_of(h))
-                .collect();
-            protect.sort_unstable();
-            let evict_slots = self.s_e.below_threshold(self.alpha, &protect);
+            scratch.protect.clear();
+            scratch
+                .protect
+                .extend(scratch.hits.iter().filter_map(|&h| self.buffer.slot_of(h)));
+            scratch.protect.sort_unstable();
+            let evict_slots = self.s_e.below_threshold(self.alpha, &scratch.protect);
             // Replacement candidates: non-buffered halo nodes with S_A > 0.
             let buffer = &self.buffer;
             let s_a = &self.s_a;
@@ -264,7 +356,7 @@ impl Prefetcher {
                 let slot = evict_slots[i];
                 let new_g = replace_globals[i];
                 let new_h = halo_nodes.binary_search(&new_g).unwrap() as u32;
-                replacements.push((slot, new_h));
+                scratch.replacements.push((slot, new_h));
             }
             // Eviction-round overhead: scan every slot plus every halo
             // candidate (the "extra work" of §IV-E).
@@ -280,25 +372,29 @@ impl Prefetcher {
         // Lines 15 + 22: one bulk fetch of miss + replacement features.
         // A replacement that is also a miss this step reuses the miss row
         // (DistDGL's bulk pull deduplicates node ids the same way).
-        let mut fetch_ids: Vec<NodeId> = misses.iter().map(|&h| halo_nodes[h as usize]).collect();
-        // Row in `fetched` for each replacement.
-        let mut replacement_rows: Vec<usize> = Vec::with_capacity(replacements.len());
-        for &(_, new_h) in &replacements {
-            if let Some(&r) = miss_row.get(&new_h) {
-                replacement_rows.push(r);
+        scratch.fetch_ids.clear();
+        scratch
+            .fetch_ids
+            .extend(scratch.misses.iter().map(|&h| halo_nodes[h as usize]));
+        scratch.replacement_rows.clear();
+        for &(_, new_h) in &scratch.replacements {
+            if scratch.row_stamp[new_h as usize] == rstamp {
+                scratch
+                    .replacement_rows
+                    .push(scratch.row_val[new_h as usize] as usize);
             } else {
-                replacement_rows.push(fetch_ids.len());
-                fetch_ids.push(halo_nodes[new_h as usize]);
+                scratch.replacement_rows.push(scratch.fetch_ids.len());
+                scratch.fetch_ids.push(halo_nodes[new_h as usize]);
             }
         }
-        let (fetched, outcome) = cluster.pull_grouped_checked(&fetch_ids);
+        let (fetched, outcome) = cluster.pull_grouped_checked(&scratch.fetch_ids);
         // Faults charge simulated time on top of the ideal RPC cost:
         // injected delays multiply the request's latency and every retry
         // re-pays it plus deterministic backoff (Eq. 6 still sees the
         // loss through `t_prepare`). `charge_s` is exactly 0.0 on the
         // fault-free path, so `t_rpc` is bitwise-unchanged there.
         let t_fault = outcome.charge_s(cost, dim, cluster.retry_policy());
-        let t_rpc = cost.t_rpc(fetch_ids.len(), dim) + t_fault;
+        let t_rpc = cost.t_rpc(scratch.fetch_ids.len(), dim) + t_fault;
         // Spans of this preparation, at their Eq. 3 offsets within the
         // prepare window: the serial prefix runs sampling → lookup →
         // scoring → evict, then RPC and copy overlap at its end. No-ops
@@ -313,8 +409,8 @@ impl Prefetcher {
             t_evict,
         );
         let serial = t_sampling + t_lookup + t_scoring + t_evict;
-        metrics.record_rpc_spanned(fetch_ids.len() as u64, dim, step, serial, t_rpc);
-        metrics.record_lookup(hits.len() as u64, misses.len() as u64);
+        metrics.record_rpc_spanned(scratch.fetch_ids.len() as u64, dim, step, serial, t_rpc);
+        metrics.record_lookup(scratch.hits.len() as u64, scratch.misses.len() as u64);
         metrics.record_pull_outcome(&outcome);
         if t_fault > 0.0 {
             metrics.fault_span(step, serial, t_fault);
@@ -329,8 +425,8 @@ impl Prefetcher {
         let row_failed = |r: usize| outcome.failed_rows.binary_search(&r).is_ok();
         let mut installed = 0usize;
         let mut stale = 0usize;
-        for (i, &(slot, new_h)) in replacements.iter().enumerate() {
-            let r = replacement_rows[i];
+        for (i, &(slot, new_h)) in scratch.replacements.iter().enumerate() {
+            let r = scratch.replacement_rows[i];
             if row_failed(r) {
                 stale += 1;
                 continue;
@@ -355,7 +451,7 @@ impl Prefetcher {
         let degraded = outcome
             .failed_rows
             .iter()
-            .filter(|&&r| r < misses.len())
+            .filter(|&&r| r < scratch.misses.len())
             .count();
         if stale > 0 || degraded > 0 {
             metrics.record_degradation(stale as u64, degraded as u64);
@@ -368,12 +464,15 @@ impl Prefetcher {
         // sequential assembly would, so the tensor is bitwise-identical
         // at any thread count.
         let local_store = cluster.store(part.part_id);
-        let mut input = vec![0.0f32; mb.input_nodes.len() * dim];
+        input_vec.clear();
+        input_vec.resize(mb.input_nodes.len() * dim, 0.0);
         if dim > 0 {
             use rayon::prelude::*;
             let buffer = &self.buffer;
             let input_nodes = &mb.input_nodes;
-            input
+            let row_stamp = &scratch.row_stamp;
+            let row_val = &scratch.row_val;
+            input_vec
                 .par_chunks_mut(dim)
                 .enumerate()
                 .for_each(|(idx, row)| {
@@ -388,27 +487,29 @@ impl Prefetcher {
                             // path yields the same bytes.
                             buffer.row(slot)
                         } else {
-                            let r = miss_row[&h];
+                            debug_assert_eq!(row_stamp[h as usize], rstamp);
+                            let r = row_val[h as usize] as usize;
                             &fetched[r * dim..(r + 1) * dim]
                         }
                     };
                     row.copy_from_slice(src);
                 });
         }
-        let t_copy = cost.t_copy(local_ids.len(), dim);
-        metrics.record_local_copy_spanned(local_ids.len() as u64, step, serial, t_copy);
+        let t_copy = cost.t_copy(scratch.local_ids.len(), dim);
+        metrics.record_local_copy_spanned(scratch.local_ids.len() as u64, step, serial, t_copy);
 
-        let labels: Vec<u32> = mb
-            .seeds
-            .iter()
-            .map(|&lid| local_store.label(part.local_nodes[lid as usize]))
-            .collect();
+        labels.clear();
+        labels.extend(
+            mb.seeds
+                .iter()
+                .map(|&lid| local_store.label(part.local_nodes[lid as usize])),
+        );
 
         let counts = PrepareCounts {
-            local: local_ids.len(),
-            halo: halo_ids.len(),
-            hits: hits.len(),
-            misses: misses.len(),
+            local: scratch.local_ids.len(),
+            halo: scratch.halo_ids.len(),
+            hits: scratch.hits.len(),
+            misses: scratch.misses.len(),
             evicted: installed,
             replaced: installed,
             degraded,
@@ -422,7 +523,8 @@ impl Prefetcher {
             t_rpc,
             t_copy,
         };
-        let input = Tensor::from_vec(mb.input_nodes.len(), dim, input);
+        let input = Tensor::from_vec(mb.input_nodes.len(), dim, input_vec);
+        self.scratch = scratch;
         PreparedBatch {
             minibatch: mb,
             input,
@@ -446,21 +548,59 @@ pub fn baseline_prepare(
     cost: &CostModel,
     metrics: &CommMetrics,
 ) -> PreparedBatch {
+    let mut scratch = PrepareScratch::default();
+    baseline_prepare_reuse(
+        None,
+        &mut scratch,
+        part,
+        sampler,
+        seeds,
+        epoch,
+        step,
+        cluster,
+        cost,
+        metrics,
+    )
+}
+
+/// [`baseline_prepare`] with caller-owned scratch and an optional
+/// recycled carcass — the allocation-free steady-state path. Outputs are
+/// bitwise-identical to the fresh version.
+#[allow(clippy::too_many_arguments)]
+pub fn baseline_prepare_reuse(
+    reuse: Option<PreparedBatch>,
+    scratch: &mut PrepareScratch,
+    part: &LocalPartition,
+    sampler: &NeighborSampler,
+    seeds: &[u32],
+    epoch: u64,
+    step: u64,
+    cluster: &SimCluster,
+    cost: &CostModel,
+    metrics: &CommMetrics,
+) -> PreparedBatch {
     let num_local = part.num_local();
     let dim = cluster.dim();
-    let mb = sampler.sample(part, seeds, epoch, step);
+    let (mut mb, mut input_vec, mut labels) = match reuse {
+        Some(b) => (b.minibatch, b.input.into_vec(), b.labels),
+        None => (SampledMinibatch::default(), Vec::new(), Vec::new()),
+    };
+    sampler.sample_into(part, seeds, epoch, step, &mut mb, &mut scratch.sampler);
     let t_sampling = cost.t_sampling(mb.total_edges());
-    let (local_ids, halo_ids) = mb.split_local_halo(num_local);
+    mb.split_local_halo_into(num_local, &mut scratch.local_ids, &mut scratch.halo_ids);
 
-    let fetch_ids: Vec<NodeId> = halo_ids
-        .iter()
-        .map(|&lid| part.halo_nodes[(lid - num_local as u32) as usize])
-        .collect();
-    let (fetched, outcome) = cluster.pull_grouped_checked(&fetch_ids);
+    scratch.fetch_ids.clear();
+    scratch.fetch_ids.extend(
+        scratch
+            .halo_ids
+            .iter()
+            .map(|&lid| part.halo_nodes[(lid - num_local as u32) as usize]),
+    );
+    let (fetched, outcome) = cluster.pull_grouped_checked(&scratch.fetch_ids);
     // Same fault-time charging as the prefetch path; exactly 0.0 when
     // nothing fired.
     let t_fault = outcome.charge_s(cost, dim, cluster.retry_policy());
-    let t_rpc = cost.t_rpc(fetch_ids.len(), dim) + t_fault;
+    let t_rpc = cost.t_rpc(scratch.fetch_ids.len(), dim) + t_fault;
     // Baseline has no buffer work, but zero-length spans for the
     // prefetch-only phases keep per-phase histogram counts equal to the
     // step count in both modes.
@@ -468,7 +608,7 @@ pub fn baseline_prepare(
     metrics.span(step, Phase::Lookup, t_sampling, 0.0);
     metrics.span(step, Phase::Scoring, t_sampling, 0.0);
     metrics.span(step, Phase::Evict, t_sampling, 0.0);
-    metrics.record_rpc_spanned(fetch_ids.len() as u64, dim, step, t_sampling, t_rpc);
+    metrics.record_rpc_spanned(scratch.fetch_ids.len() as u64, dim, step, t_sampling, t_rpc);
     metrics.record_pull_outcome(&outcome);
     if t_fault > 0.0 {
         metrics.fault_span(step, t_sampling, t_fault);
@@ -480,18 +620,24 @@ pub fn baseline_prepare(
     }
 
     let local_store = cluster.store(part.part_id);
-    let mut halo_row: std::collections::HashMap<u32, usize> =
-        std::collections::HashMap::with_capacity(halo_ids.len());
-    for (i, &lid) in halo_ids.iter().enumerate() {
-        halo_row.insert(lid, i);
+    // Map halo idx -> fetch row (one row per sampled halo node;
+    // `input_nodes` is duplicate-free).
+    let rstamp = scratch.mark_rows(part.num_halo());
+    for (i, &lid) in scratch.halo_ids.iter().enumerate() {
+        let h = (lid - num_local as u32) as usize;
+        scratch.row_stamp[h] = rstamp;
+        scratch.row_val[h] = i as u32;
     }
     // Row-parallel gather, same bytes as the sequential loop (see the
     // prefetch-path assembly above for the determinism argument).
-    let mut input = vec![0.0f32; mb.input_nodes.len() * dim];
+    input_vec.clear();
+    input_vec.resize(mb.input_nodes.len() * dim, 0.0);
     if dim > 0 {
         use rayon::prelude::*;
         let input_nodes = &mb.input_nodes;
-        input
+        let row_stamp = &scratch.row_stamp;
+        let row_val = &scratch.row_val;
+        input_vec
             .par_chunks_mut(dim)
             .enumerate()
             .for_each(|(idx, row)| {
@@ -499,26 +645,29 @@ pub fn baseline_prepare(
                 let src: &[f32] = if (lid as usize) < num_local {
                     local_store.row(part.local_nodes[lid as usize])
                 } else {
-                    let r = halo_row[&lid];
+                    let h = (lid - num_local as u32) as usize;
+                    debug_assert_eq!(row_stamp[h], rstamp);
+                    let r = row_val[h] as usize;
                     &fetched[r * dim..(r + 1) * dim]
                 };
                 row.copy_from_slice(src);
             });
     }
-    let t_copy = cost.t_copy(local_ids.len(), dim);
-    metrics.record_local_copy_spanned(local_ids.len() as u64, step, t_sampling, t_copy);
+    let t_copy = cost.t_copy(scratch.local_ids.len(), dim);
+    metrics.record_local_copy_spanned(scratch.local_ids.len() as u64, step, t_sampling, t_copy);
 
-    let labels: Vec<u32> = mb
-        .seeds
-        .iter()
-        .map(|&lid| local_store.label(part.local_nodes[lid as usize]))
-        .collect();
+    labels.clear();
+    labels.extend(
+        mb.seeds
+            .iter()
+            .map(|&lid| local_store.label(part.local_nodes[lid as usize])),
+    );
 
     let counts = PrepareCounts {
-        local: local_ids.len(),
-        halo: halo_ids.len(),
+        local: scratch.local_ids.len(),
+        halo: scratch.halo_ids.len(),
         hits: 0,
-        misses: halo_ids.len(),
+        misses: scratch.halo_ids.len(),
         evicted: 0,
         replaced: 0,
         degraded: outcome.failed_rows.len(),
@@ -532,7 +681,7 @@ pub fn baseline_prepare(
         t_rpc,
         t_copy,
     };
-    let input = Tensor::from_vec(mb.input_nodes.len(), dim, input);
+    let input = Tensor::from_vec(mb.input_nodes.len(), dim, input_vec);
     PreparedBatch {
         minibatch: mb,
         input,

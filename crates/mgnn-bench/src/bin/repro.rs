@@ -23,7 +23,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: repro --experiment <{}|all> [--scale unit|small|bench] [--epochs N] [--batch N] \
          [--hidden N] [--full] [--seed N] [--trace-out DIR] [--json-out FILE] \
-         [--bench-out FILE] [--bench-iters N] \
+         [--bench-out FILE] [--bench-iters N] [--perf-guard] \
          [--fault-profile <{}>] [--fault-seed N]",
         experiments::names().join("|"),
         FaultProfile::NAMES.join("|")
@@ -39,6 +39,7 @@ fn main() {
     let mut json_out: Option<PathBuf> = None;
     let mut bench_out: Option<PathBuf> = None;
     let mut bench_iters = 5usize;
+    let mut perf_guard = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -124,6 +125,7 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage());
             }
+            "--perf-guard" => perf_guard = true,
             "--full" => opts.full = true,
             "--help" | "-h" => usage(),
             other => {
@@ -140,9 +142,32 @@ fn main() {
         let doc = bench::run_all(opts.seed, bench_iters);
         write_or_die(file, &serde_json::to_string_pretty(&doc));
         eprintln!("[bench timings written to {}]", file.display());
+        // Perf guard (CI): the end-to-end threaded engine must not fall
+        // behind the sequential one beyond the shared tolerance.
+        if perf_guard {
+            let speedup = doc
+                .get("end_to_end")
+                .and_then(|e| e.get("speedup"))
+                .and_then(Value::as_f64)
+                .expect("bench document carries end_to_end.speedup");
+            if speedup < bench::PERF_GUARD_MIN_SPEEDUP {
+                eprintln!(
+                    "perf guard: end-to-end speedup {speedup:.3} fell below the floor {:.2}",
+                    bench::PERF_GUARD_MIN_SPEEDUP
+                );
+                std::process::exit(1);
+            }
+            eprintln!(
+                "[perf guard: speedup {speedup:.3} >= {:.2}]",
+                bench::PERF_GUARD_MIN_SPEEDUP
+            );
+        }
         if experiment.is_none() {
             return;
         }
+    } else if perf_guard {
+        eprintln!("--perf-guard requires --bench-out FILE");
+        usage()
     }
 
     let experiment = experiment.unwrap_or_else(|| String::from("all"));

@@ -58,8 +58,8 @@ pub fn run(opts: &Opts) -> Ablation {
     let mut stream: Vec<Vec<u32>> = Vec::new();
     let mut gs = 0u64;
     for epoch in 0..epochs {
-        for seeds in loader.epoch(epoch) {
-            let mb = sampler.sample(part, &seeds, epoch, gs);
+        for seeds in loader.epoch(epoch).iter() {
+            let mb = sampler.sample(part, seeds, epoch, gs);
             gs += 1;
             let (_, halo) = mb.split_local_halo(num_local);
             stream.push(halo.iter().map(|&l| l - num_local as u32).collect());

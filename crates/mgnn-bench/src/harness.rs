@@ -136,6 +136,7 @@ pub fn engine_config(
         trace: opts.trace,
         fault: opts.fault(),
         retry: RetryPolicy::default(),
+        pooling: true,
     }
 }
 
@@ -223,19 +224,30 @@ impl WallclockCompare {
 /// wall clock, and check the two reports agree on the bitwise-sensitive
 /// fields (final params, aggregate counters, simulated makespan).
 pub fn wallclock_compare(cfg: &EngineConfig) -> WallclockCompare {
-    let mut c = cfg.clone();
-    c.parallel = false;
-    let engine = Engine::build(c.clone());
-    let world = engine.world();
-    let t0 = std::time::Instant::now();
-    let sequential = engine.run();
-    let sequential_s = t0.elapsed().as_secs_f64();
+    wallclock_compare_ordered(cfg, false)
+}
 
-    c.parallel = true;
-    let engine = Engine::build(c);
-    let t0 = std::time::Instant::now();
-    let parallel = engine.run();
-    let parallel_s = t0.elapsed().as_secs_f64();
+/// [`wallclock_compare`] with explicit measurement order. Whichever run
+/// goes second inherits the first run's warmed (and fragmented) heap —
+/// a few percent of systematic bias on short runs — so benchmarks that
+/// repeat the comparison alternate `parallel_first` to cancel it.
+pub fn wallclock_compare_ordered(cfg: &EngineConfig, parallel_first: bool) -> WallclockCompare {
+    let time_one = |parallel: bool| {
+        let mut c = cfg.clone();
+        c.parallel = parallel;
+        let engine = Engine::build(c);
+        let t0 = std::time::Instant::now();
+        let report = engine.run();
+        (report, t0.elapsed().as_secs_f64())
+    };
+    let world = Engine::build(cfg.clone()).world();
+    let ((sequential, sequential_s), (parallel, parallel_s)) = if parallel_first {
+        let p = time_one(true);
+        (time_one(false), p)
+    } else {
+        let s = time_one(false);
+        (s, time_one(true))
+    };
 
     assert_eq!(
         sequential.final_params, parallel.final_params,

@@ -78,6 +78,75 @@ pub fn ring_allreduce_average(grads: &mut [Vec<f32>]) {
     }
 }
 
+/// Bounds `[start, end)` of ring chunk `chunk` for a gradient of `len`
+/// elements split across `world` ranks. Pure function of `(len, world)` —
+/// the same deterministic-chunking contract the rayon shim enforces — so
+/// any thread can compute any chunk without coordination.
+#[inline]
+pub fn ring_chunk_bounds(len: usize, world: usize, chunk: usize) -> (usize, usize) {
+    (chunk * len / world, (chunk + 1) * len / world)
+}
+
+/// Average chunk `chunk` of the `world` equal-length gradient buffers in
+/// `srcs` into `dst[start..end)`, reproducing `ring_allreduce_average`'s
+/// accumulation order bit for bit: the ring's reduce-scatter folds chunk
+/// `c` as `((g_{c+1} + g_c) + g_{c+2}) + … + g_{c+world-1}` (ranks mod
+/// `world`), then scales by `1.0 / world as f32` — except at `world == 1`,
+/// where the ring returns early and the chunk is copied unscaled.
+///
+/// Elements of `dst` outside the chunk are left untouched, so `world`
+/// threads each reducing their own chunk into a shared buffer cover it
+/// exactly once with no overlap — lock-free by construction.
+pub fn reduce_ring_chunk_average(srcs: &[&[f32]], chunk: usize, dst: &mut [f32]) {
+    let world = srcs.len();
+    let len = dst.len();
+    debug_assert!(srcs.iter().all(|s| s.len() == len));
+    let (s, e) = ring_chunk_bounds(len, world, chunk);
+    reduce_ring_chunk_average_with(chunk, world, len, |r| srcs[r], &mut dst[s..e]);
+}
+
+/// [`reduce_ring_chunk_average`] with the source buffers behind an
+/// accessor instead of a slice list: `src(r)` returns rank `r`'s full
+/// gradient buffer, and `dst` is exactly the chunk's
+/// `[start, end)` window (`ring_chunk_bounds(len, world, chunk)`).
+/// Lets a lock-free arena hand out transient per-rank views without
+/// materializing (allocating) a `&[&[f32]]` every step.
+pub fn reduce_ring_chunk_average_with<'a, F>(
+    chunk: usize,
+    world: usize,
+    len: usize,
+    src: F,
+    dst: &mut [f32],
+) where
+    F: Fn(usize) -> &'a [f32],
+{
+    assert!(world > 0 && chunk < world, "chunk {chunk} out of {world}");
+    let (s, e) = ring_chunk_bounds(len, world, chunk);
+    debug_assert_eq!(dst.len(), e - s);
+    if s == e {
+        return;
+    }
+    if world == 1 {
+        dst.copy_from_slice(&src(0)[s..e]);
+        return;
+    }
+    // Ring step 0 accumulates rank `chunk`'s send into rank `chunk+1`.
+    dst.copy_from_slice(&src((chunk + 1) % world)[s..e]);
+    for (d, v) in dst.iter_mut().zip(&src(chunk)[s..e]) {
+        *d += *v;
+    }
+    // Remaining ring hops add ranks chunk+2 … chunk+world-1 in order.
+    for k in 2..world {
+        for (d, v) in dst.iter_mut().zip(&src((chunk + k) % world)[s..e]) {
+            *d += *v;
+        }
+    }
+    let inv = 1.0 / world as f32;
+    for d in dst.iter_mut() {
+        *d *= inv;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,5 +205,78 @@ mod tests {
     fn mismatched_lengths_panic() {
         let mut grads = vec![vec![0.0; 3], vec![0.0; 4]];
         ring_allreduce_average(&mut grads);
+    }
+
+    /// Gradient fixtures with mixed magnitudes so any deviation in f32
+    /// summation order shows up in the low mantissa bits.
+    fn nasty_grads(world: usize, len: usize) -> Vec<Vec<f32>> {
+        (0..world)
+            .map(|r| {
+                (0..len)
+                    .map(|i| {
+                        let m = [1.0e-4f32, 3.7, 1.0e4, -2.5e-2][(r + i) % 4];
+                        m * ((r * 131 + i * 17 + 1) as f32).sin()
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn chunked_reduction_bitwise_matches_ring() {
+        for world in [1usize, 2, 3, 4, 5, 8] {
+            for len in [0usize, 1, 3, 7, 16, 33, 257] {
+                let grads = nasty_grads(world, len);
+                let mut ring = grads.clone();
+                ring_allreduce_average(&mut ring);
+
+                let srcs: Vec<&[f32]> = grads.iter().map(|g| g.as_slice()).collect();
+                let mut chunked = vec![0.0f32; len];
+                for c in 0..world {
+                    reduce_ring_chunk_average(&srcs, c, &mut chunked);
+                }
+                for (r, g) in ring.iter().enumerate() {
+                    for (i, (a, b)) in g.iter().zip(&chunked).enumerate() {
+                        assert_eq!(
+                            a.to_bits(),
+                            b.to_bits(),
+                            "world={world} len={len} rank={r} i={i}: ring {a} vs chunked {b}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_bounds_tile_exactly() {
+        for world in [1usize, 2, 3, 4, 7] {
+            for len in [0usize, 1, 5, 16, 31] {
+                let mut next = 0usize;
+                for c in 0..world {
+                    let (s, e) = ring_chunk_bounds(len, world, c);
+                    assert_eq!(s, next);
+                    assert!(e >= s);
+                    next = e;
+                }
+                assert_eq!(next, len);
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_reduction_leaves_other_chunks_untouched() {
+        let grads = nasty_grads(4, 32);
+        let srcs: Vec<&[f32]> = grads.iter().map(|g| g.as_slice()).collect();
+        let mut dst = vec![f32::NAN; 32];
+        reduce_ring_chunk_average(&srcs, 1, &mut dst);
+        let (s, e) = ring_chunk_bounds(32, 4, 1);
+        for (i, v) in dst.iter().enumerate() {
+            if (s..e).contains(&i) {
+                assert!(v.is_finite());
+            } else {
+                assert!(v.is_nan(), "chunk 1 wrote outside [{s},{e}) at {i}");
+            }
+        }
     }
 }

@@ -9,7 +9,7 @@
 /// * For dst `i` (`0 <= i < num_dst`), its sampled in-neighbors are
 ///   `indices[offsets[i]..offsets[i+1]]`, values being *positions into
 ///   `src_nodes`*.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Block {
     /// Number of destination nodes (prefix of `src_nodes`).
     pub num_dst: usize,
@@ -74,7 +74,7 @@ impl Block {
 
 /// A fully sampled minibatch: the layer blocks plus the flat list of input
 /// nodes whose features must be gathered before training.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SampledMinibatch {
     /// Seed (output) nodes, partition-local ids.
     pub seeds: Vec<u32>,
@@ -103,6 +103,20 @@ impl SampledMinibatch {
     pub fn split_local_halo(&self, num_local: usize) -> (Vec<u32>, Vec<u32>) {
         let mut local = Vec::new();
         let mut halo = Vec::new();
+        self.split_local_halo_into(num_local, &mut local, &mut halo);
+        (local, halo)
+    }
+
+    /// [`split_local_halo`](Self::split_local_halo) into caller-owned
+    /// buffers (cleared first) — the allocation-free steady-state path.
+    pub fn split_local_halo_into(
+        &self,
+        num_local: usize,
+        local: &mut Vec<u32>,
+        halo: &mut Vec<u32>,
+    ) {
+        local.clear();
+        halo.clear();
         for &n in &self.input_nodes {
             if (n as usize) < num_local {
                 local.push(n);
@@ -110,7 +124,6 @@ impl SampledMinibatch {
                 halo.push(n);
             }
         }
-        (local, halo)
     }
 }
 

@@ -1,18 +1,48 @@
 //! Per-trainer minibatch dataloader: epoch shuffling + fixed batch size,
 //! mirroring DistDGL's distributed `DataLoader` (constant batch size of
 //! 2000 in the paper; here scaled with the graphs).
+//!
+//! The shuffled plan of an epoch is computed **once** and memoized behind
+//! an `Arc`, so the engine's hot loop shares one immutable schedule
+//! instead of re-shuffling the whole epoch every step (which was O(steps²)
+//! per epoch). RapidGNN-style precomputed schedules make the per-step cost
+//! of the sampling frontier O(1) and allocation-free.
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::sync::{Arc, Mutex};
+
+/// One epoch's shuffled minibatch schedule: cheaply clonable, immutable,
+/// shared between the prepare thread and the trainer without copying seed
+/// vectors per step.
+pub type EpochPlan = Arc<[Arc<[u32]>]>;
 
 /// Deterministic epoch-shuffled minibatch iterator over a trainer's seed
 /// nodes (partition-local ids).
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct DataLoader {
     seeds: Vec<u32>,
     batch_size: usize,
     base_seed: u64,
+    /// Single-entry memo of the most recent epoch's plan. Training walks
+    /// epochs in order, so one slot gives O(1) repeat lookups.
+    cache: Mutex<Option<(u64, EpochPlan)>>,
+    #[cfg(test)]
+    shuffles: std::sync::atomic::AtomicU64,
+}
+
+impl Clone for DataLoader {
+    fn clone(&self) -> Self {
+        DataLoader {
+            seeds: self.seeds.clone(),
+            batch_size: self.batch_size,
+            base_seed: self.base_seed,
+            cache: Mutex::new(self.cache.lock().unwrap().clone()),
+            #[cfg(test)]
+            shuffles: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
 }
 
 impl DataLoader {
@@ -24,6 +54,9 @@ impl DataLoader {
             seeds,
             batch_size,
             base_seed,
+            cache: Mutex::new(None),
+            #[cfg(test)]
+            shuffles: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -43,23 +76,51 @@ impl DataLoader {
         self.batch_size
     }
 
-    /// The shuffled minibatches of `epoch`.
-    pub fn epoch(&self, epoch: u64) -> Vec<Vec<u32>> {
+    /// The shuffled minibatches of `epoch`. Memoized: repeated calls for
+    /// the same epoch return a clone of the cached `Arc` in O(1) without
+    /// recomputing the permutation.
+    pub fn epoch(&self, epoch: u64) -> EpochPlan {
+        let mut cache = self.cache.lock().unwrap();
+        if let Some((e, plan)) = cache.as_ref() {
+            if *e == epoch {
+                return Arc::clone(plan);
+            }
+        }
+        let plan = self.shuffle_epoch(epoch);
+        *cache = Some((epoch, Arc::clone(&plan)));
+        plan
+    }
+
+    /// Actually shuffle + chunk one epoch (the slow path behind the memo).
+    fn shuffle_epoch(&self, epoch: u64) -> EpochPlan {
+        #[cfg(test)]
+        self.shuffles
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let mut order = self.seeds.clone();
         order.shuffle(&mut StdRng::seed_from_u64(
             self.base_seed ^ epoch.wrapping_mul(0x2545_f491_4f6c_dd1d),
         ));
-        order.chunks(self.batch_size).map(|c| c.to_vec()).collect()
+        order
+            .chunks(self.batch_size)
+            .map(Arc::from)
+            .collect::<Vec<Arc<[u32]>>>()
+            .into()
     }
 
     /// Convenience: the `step`-th minibatch of `epoch`.
-    pub fn batch(&self, epoch: u64, step: usize) -> Option<Vec<u32>> {
+    pub fn batch(&self, epoch: u64, step: usize) -> Option<Arc<[u32]>> {
         let start = step * self.batch_size;
         if start >= self.seeds.len() {
             return None;
         }
-        // Recompute only the needed slice of the epoch permutation.
-        Some(self.epoch(epoch)[step].clone())
+        Some(Arc::clone(&self.epoch(epoch)[step]))
+    }
+
+    /// How many times the epoch permutation has actually been computed on
+    /// this loader (memo misses). Test-only.
+    #[cfg(test)]
+    pub fn shuffle_count(&self) -> u64 {
+        self.shuffles.load(std::sync::atomic::Ordering::Relaxed)
     }
 }
 
@@ -72,7 +133,7 @@ mod tests {
         let dl = DataLoader::new((0..103).collect(), 10, 1);
         assert_eq!(dl.batches_per_epoch(), 11);
         let batches = dl.epoch(0);
-        let mut all: Vec<u32> = batches.into_iter().flatten().collect();
+        let mut all: Vec<u32> = batches.iter().flat_map(|b| b.iter().copied()).collect();
         all.sort_unstable();
         assert_eq!(all, (0..103).collect::<Vec<u32>>());
     }
@@ -104,5 +165,37 @@ mod tests {
         let dl = DataLoader::new(vec![], 10, 0);
         assert_eq!(dl.batches_per_epoch(), 0);
         assert!(dl.epoch(0).is_empty());
+    }
+
+    #[test]
+    fn epoch_plan_shuffled_once_per_epoch() {
+        let dl = DataLoader::new((0..64).collect(), 8, 7);
+        assert_eq!(dl.shuffle_count(), 0);
+        let first = dl.epoch(0);
+        assert_eq!(dl.shuffle_count(), 1);
+        // Repeated calls (the old per-step pattern) hit the memo: still 1.
+        for step in 0..dl.batches_per_epoch() {
+            let plan = dl.epoch(0);
+            assert_eq!(plan[step], first[step]);
+            let _ = dl.batch(0, step);
+        }
+        assert_eq!(dl.shuffle_count(), 1, "epoch 0 reshuffled on repeat call");
+        // A new epoch recomputes exactly once…
+        let _ = dl.epoch(1);
+        let _ = dl.epoch(1);
+        assert_eq!(dl.shuffle_count(), 2);
+        // …and going back to an evicted epoch recomputes the same plan.
+        let again = dl.epoch(0);
+        assert_eq!(dl.shuffle_count(), 3);
+        assert_eq!(again, first);
+    }
+
+    #[test]
+    fn memoized_plan_identical_to_fresh_loader() {
+        let a = DataLoader::new((0..40).collect(), 7, 3);
+        let _ = a.epoch(0); // warm the memo
+        let b = DataLoader::new((0..40).collect(), 7, 3);
+        assert_eq!(a.epoch(0), b.epoch(0));
+        assert_eq!(a.epoch(5), b.epoch(5));
     }
 }

@@ -18,5 +18,5 @@ pub mod dataloader;
 pub mod sampler;
 
 pub use block::{Block, SampledMinibatch};
-pub use dataloader::DataLoader;
-pub use sampler::{NeighborSampler, SamplingStrategy};
+pub use dataloader::{DataLoader, EpochPlan};
+pub use sampler::{NeighborSampler, SamplerScratch, SamplingStrategy};

@@ -34,6 +34,34 @@ pub enum SamplingStrategy {
     Full,
 }
 
+/// Reusable working memory for [`NeighborSampler::sample_into`]. One
+/// instance per prepare loop: every vector is cleared (never shrunk)
+/// between minibatches, so the steady state samples without touching the
+/// allocator. The node→position map is a stamped array pair instead of a
+/// hash map — `pos_stamp[n] == stamp` means `n` is in this layer's
+/// `src_nodes` at position `pos_val[n]` — which is both O(1) and
+/// allocation-free once grown to the partition's id space.
+#[derive(Debug, Clone, Default)]
+pub struct SamplerScratch {
+    /// Current frontier (dst set of the layer being built).
+    dst: Vec<u32>,
+    /// Stamp marking which ids are present in the current layer.
+    pos_stamp: Vec<u64>,
+    /// Position in `src_nodes` for ids whose stamp is current.
+    pos_val: Vec<u32>,
+    /// Monotone stamp, bumped once per layer.
+    stamp: u64,
+    /// Floyd's-algorithm chosen indices (replaces the per-dst `HashSet`;
+    /// fanouts are small, so linear membership tests win).
+    chosen: Vec<usize>,
+    /// Efraimidis–Spirakis keyed reservoir.
+    keyed: Vec<(f64, u32)>,
+    /// Per-dst selected-neighbor scratch.
+    nbr: Vec<u32>,
+    /// Block carcasses recycled when a minibatch shrinks its layer count.
+    spare_blocks: Vec<Block>,
+}
+
 /// Fanout sampler bound to one partition.
 #[derive(Debug, Clone)]
 pub struct NeighborSampler {
@@ -77,109 +105,165 @@ impl NeighborSampler {
         epoch: u64,
         step: u64,
     ) -> SampledMinibatch {
+        let mut out = SampledMinibatch::default();
+        let mut scratch = SamplerScratch::default();
+        self.sample_into(part, seeds, epoch, step, &mut out, &mut scratch);
+        out
+    }
+
+    /// [`sample`](Self::sample) into a recycled minibatch carcass and
+    /// reusable scratch. Produces bitwise-identical output to `sample`
+    /// (same RNG stream, same first-occurrence position assignment, same
+    /// sorted neighbor sets) while leaving the allocator untouched once
+    /// `out`/`scratch` have grown to the working-set size.
+    pub fn sample_into(
+        &self,
+        part: &LocalPartition,
+        seeds: &[u32],
+        epoch: u64,
+        step: u64,
+        out: &mut SampledMinibatch,
+        scratch: &mut SamplerScratch,
+    ) {
         let mut rng = StdRng::seed_from_u64(
             self.base_seed
                 ^ epoch.wrapping_mul(0x9e37_79b9_7f4a_7c15)
                 ^ step.wrapping_mul(0xc2b2_ae3d_27d4_eb4f),
         );
-        let mut dst: Vec<u32> = seeds.to_vec();
-        dst.sort_unstable();
-        dst.dedup();
-        let seeds_unique = dst.clone();
+        let id_space = part.num_local() + part.num_halo();
+        if scratch.pos_stamp.len() < id_space {
+            scratch.pos_stamp.resize(id_space, 0);
+            scratch.pos_val.resize(id_space, 0);
+        }
 
-        // Build blocks from the seed layer outward (reverse order), then
-        // flip so blocks[0] is the input layer.
-        let mut blocks_rev: Vec<Block> = Vec::with_capacity(self.fanouts.len());
-        for &fanout in self.fanouts.iter().rev() {
-            let block = sample_one_layer(part, &dst, fanout, self.strategy, &mut rng);
-            dst = block.src_nodes.clone();
-            blocks_rev.push(block);
+        scratch.dst.clear();
+        scratch.dst.extend_from_slice(seeds);
+        scratch.dst.sort_unstable();
+        scratch.dst.dedup();
+        out.seeds.clear();
+        out.seeds.extend_from_slice(&scratch.dst);
+
+        // Keep exactly `num_layers` block carcasses, parking extras.
+        let num_layers = self.fanouts.len();
+        while out.blocks.len() > num_layers {
+            scratch.spare_blocks.push(out.blocks.pop().unwrap());
         }
-        blocks_rev.reverse();
-        let input_nodes = blocks_rev[0].src_nodes.clone();
-        SampledMinibatch {
-            seeds: seeds_unique,
-            blocks: blocks_rev,
-            input_nodes,
+        while out.blocks.len() < num_layers {
+            out.blocks
+                .push(scratch.spare_blocks.pop().unwrap_or_default());
         }
+
+        // Build blocks from the seed layer outward: rev-iteration `k`
+        // fills final slot `num_layers - 1 - k`, so no reverse pass.
+        for (k, &fanout) in self.fanouts.iter().rev().enumerate() {
+            let bi = num_layers - 1 - k;
+            scratch.stamp += 1;
+            sample_one_layer_into(
+                part,
+                &scratch.dst,
+                fanout,
+                self.strategy,
+                &mut rng,
+                &mut out.blocks[bi],
+                &mut scratch.pos_stamp,
+                &mut scratch.pos_val,
+                scratch.stamp,
+                &mut scratch.chosen,
+                &mut scratch.keyed,
+                &mut scratch.nbr,
+            );
+            scratch.dst.clear();
+            scratch.dst.extend_from_slice(&out.blocks[bi].src_nodes);
+        }
+        out.input_nodes.clear();
+        out.input_nodes.extend_from_slice(&out.blocks[0].src_nodes);
     }
 }
 
-/// Sample one bipartite layer: for each dst node take up to `fanout`
-/// distinct neighbors according to `strategy`.
-fn sample_one_layer(
+/// Sample one bipartite layer into a recycled [`Block`]: for each dst node
+/// take up to `fanout` distinct neighbors according to `strategy`.
+#[allow(clippy::too_many_arguments)]
+fn sample_one_layer_into(
     part: &LocalPartition,
     dst: &[u32],
     fanout: usize,
     strategy: SamplingStrategy,
     rng: &mut StdRng,
-) -> Block {
+    block: &mut Block,
+    pos_stamp: &mut [u64],
+    pos_val: &mut [u32],
+    stamp: u64,
+    chosen: &mut Vec<usize>,
+    keyed: &mut Vec<(f64, u32)>,
+    nbr: &mut Vec<u32>,
+) {
     let num_dst = dst.len();
-    let mut src_nodes: Vec<u32> = dst.to_vec();
-    // position in src_nodes, keyed by partition-local id
-    let mut pos: std::collections::HashMap<u32, u32> = src_nodes
-        .iter()
-        .enumerate()
-        .map(|(i, &n)| (n, i as u32))
-        .collect();
-    let mut offsets: Vec<u32> = Vec::with_capacity(num_dst + 1);
-    offsets.push(0);
-    let mut indices: Vec<u32> = Vec::new();
-    let mut scratch: Vec<u32> = Vec::with_capacity(fanout);
+    block.num_dst = num_dst;
+    block.src_nodes.clear();
+    block.src_nodes.extend_from_slice(dst);
+    // Position map seeded with the dst prefix (self-inclusive src set).
+    for (i, &n) in dst.iter().enumerate() {
+        pos_stamp[n as usize] = stamp;
+        pos_val[n as usize] = i as u32;
+    }
+    block.offsets.clear();
+    block.offsets.push(0);
+    block.indices.clear();
 
     for &d in dst {
         let nbrs = part.graph.neighbors(d);
-        scratch.clear();
+        nbr.clear();
         if nbrs.len() <= fanout || strategy == SamplingStrategy::Full {
-            scratch.extend_from_slice(nbrs);
+            nbr.extend_from_slice(nbrs);
         } else {
             match strategy {
                 SamplingStrategy::Uniform => {
-                    // Floyd's algorithm: `fanout` distinct indices in [0, len).
+                    // Floyd's algorithm: `fanout` distinct indices in
+                    // [0, len). The chosen set is tiny (≤ fanout), so a
+                    // linear `contains` replaces the old `HashSet` with
+                    // identical membership decisions.
                     let len = nbrs.len();
-                    let mut chosen = std::collections::HashSet::with_capacity(fanout);
+                    chosen.clear();
                     for j in (len - fanout)..len {
                         let t = rng.gen_range(0..=j);
-                        if !chosen.insert(t) {
-                            chosen.insert(j);
+                        if chosen.contains(&t) {
+                            chosen.push(j);
+                        } else {
+                            chosen.push(t);
                         }
                     }
-                    scratch.extend(chosen.iter().map(|&i| nbrs[i]));
-                    scratch.sort_unstable(); // determinism: HashSet order is unstable
+                    nbr.extend(chosen.iter().map(|&i| nbrs[i]));
+                    nbr.sort_unstable(); // determinism: fixed output order
                 }
                 SamplingStrategy::DegreeWeighted => {
                     // Efraimidis–Spirakis A-Res: key = u^(1/w), keep top-k.
-                    let mut keyed: Vec<(f64, u32)> = nbrs
-                        .iter()
-                        .map(|&v| {
-                            let w = part.global_degree(v).max(1) as f64;
-                            let u: f64 = rng.gen::<f64>().max(1e-300);
-                            (u.powf(1.0 / w), v)
-                        })
-                        .collect();
+                    keyed.clear();
+                    keyed.extend(nbrs.iter().map(|&v| {
+                        let w = part.global_degree(v).max(1) as f64;
+                        let u: f64 = rng.gen::<f64>().max(1e-300);
+                        (u.powf(1.0 / w), v)
+                    }));
                     keyed.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
                     keyed.truncate(fanout);
-                    scratch.extend(keyed.into_iter().map(|(_, v)| v));
-                    scratch.sort_unstable();
+                    nbr.extend(keyed.iter().map(|&(_, v)| v));
+                    nbr.sort_unstable();
                 }
                 SamplingStrategy::Full => unreachable!(),
             }
         }
-        for &v in &scratch {
-            let p = *pos.entry(v).or_insert_with(|| {
-                src_nodes.push(v);
-                (src_nodes.len() - 1) as u32
-            });
-            indices.push(p);
+        for &v in nbr.iter() {
+            let p = if pos_stamp[v as usize] == stamp {
+                pos_val[v as usize]
+            } else {
+                let p = block.src_nodes.len() as u32;
+                block.src_nodes.push(v);
+                pos_stamp[v as usize] = stamp;
+                pos_val[v as usize] = p;
+                p
+            };
+            block.indices.push(p);
         }
-        offsets.push(indices.len() as u32);
-    }
-
-    Block {
-        num_dst,
-        src_nodes,
-        offsets,
-        indices,
+        block.offsets.push(block.indices.len() as u32);
     }
 }
 
@@ -376,6 +460,46 @@ mod tests {
             hub_wtd > hub_uni,
             "weighted should pick the hub more often ({hub_wtd} vs {hub_uni})"
         );
+    }
+
+    #[test]
+    fn sample_into_matches_sample_with_dirty_reuse() {
+        // A recycled minibatch + scratch (dirty from arbitrary previous
+        // batches) must yield bitwise-identical output to a fresh
+        // `sample` at every (epoch, step) and for every strategy.
+        let part = partition();
+        for strategy in [
+            SamplingStrategy::Uniform,
+            SamplingStrategy::DegreeWeighted,
+            SamplingStrategy::Full,
+        ] {
+            let s = NeighborSampler::with_strategy(vec![4, 7], strategy, 13);
+            let mut out = SampledMinibatch::default();
+            let mut scratch = SamplerScratch::default();
+            for step in 0..8u64 {
+                let seeds: Vec<u32> = (step as u32..step as u32 + 11).collect();
+                let fresh = s.sample(&part, &seeds, step / 3, step);
+                s.sample_into(&part, &seeds, step / 3, step, &mut out, &mut scratch);
+                assert_eq!(out, fresh, "{strategy:?} step {step}");
+            }
+        }
+    }
+
+    #[test]
+    fn sample_into_recycles_across_layer_counts() {
+        // Reusing a carcass from a deeper sampler must not leak blocks.
+        let part = partition();
+        let deep = NeighborSampler::new(vec![3, 3, 3], 5);
+        let shallow = NeighborSampler::new(vec![6], 5);
+        let seeds: Vec<u32> = (0..9).collect();
+        let mut out = SampledMinibatch::default();
+        let mut scratch = SamplerScratch::default();
+        deep.sample_into(&part, &seeds, 0, 0, &mut out, &mut scratch);
+        assert_eq!(out.blocks.len(), 3);
+        shallow.sample_into(&part, &seeds, 0, 1, &mut out, &mut scratch);
+        assert_eq!(out, shallow.sample(&part, &seeds, 0, 1));
+        deep.sample_into(&part, &seeds, 1, 2, &mut out, &mut scratch);
+        assert_eq!(out, deep.sample(&part, &seeds, 1, 2));
     }
 
     #[test]

@@ -57,6 +57,13 @@ impl Tensor {
         &mut self.data
     }
 
+    /// Consume the tensor, recovering the raw row-major buffer (and its
+    /// capacity) — the recycling path of the `PreparedBatch` pool.
+    #[inline]
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
     /// Row `i` as a slice.
     #[inline]
     pub fn row(&self, i: usize) -> &[f32] {

@@ -36,8 +36,8 @@ fn main() {
     let mut stream = Vec::new();
     let mut gs = 0u64;
     for epoch in 0..20u64 {
-        for seeds in loader.epoch(epoch) {
-            let mb = sampler.sample(part, &seeds, epoch, gs);
+        for seeds in loader.epoch(epoch).iter() {
+            let mb = sampler.sample(part, seeds, epoch, gs);
             gs += 1;
             let (_, halo) = mb.split_local_halo(num_local);
             stream.push(
