@@ -11,6 +11,35 @@ pub enum ScoreLayout {
     MemEfficient,
 }
 
+/// Which admission/eviction/pull policy drives the prefetcher (DESIGN
+/// §10). Selecting `Scoreboard` reproduces the paper bitwise; the
+/// variants only change *which* rows sit in the buffer and *when* they
+/// are fetched — never the feature bytes a minibatch trains on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PrefetchPolicyKind {
+    /// The paper's reactive S_E/S_A scoreboard with Δ-periodic
+    /// evict-and-replace (Algorithm 2).
+    Scoreboard,
+    /// Deterministic lookahead planning: walk the memoized epoch plan
+    /// `depth` steps ahead, re-run the seeded sampler against future
+    /// seeds, and pull each upcoming batch's not-yet-resident halo rows
+    /// before they are due. Disables the reactive scoreboard passes.
+    Lookahead {
+        /// Planning horizon in minibatch steps (≥ 1).
+        depth: usize,
+    },
+}
+
+impl PrefetchPolicyKind {
+    /// Stable CLI/report name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PrefetchPolicyKind::Scoreboard => "scoreboard",
+            PrefetchPolicyKind::Lookahead { .. } => "lookahead",
+        }
+    }
+}
+
 /// All prefetch/eviction parameters (paper Table I, §IV).
 #[derive(Debug, Clone, Copy)]
 pub struct PrefetchConfig {
@@ -30,6 +59,9 @@ pub struct PrefetchConfig {
     pub layout: ScoreLayout,
     /// Look-ahead depth of the next-minibatch queue (the paper uses 1).
     pub lookahead: usize,
+    /// Admission/eviction/pull policy (DESIGN §10). `Scoreboard` is the
+    /// paper-faithful default.
+    pub policy: PrefetchPolicyKind,
 }
 
 impl Default for PrefetchConfig {
@@ -41,6 +73,7 @@ impl Default for PrefetchConfig {
             eviction: true,
             layout: ScoreLayout::Dense,
             lookahead: 1,
+            policy: PrefetchPolicyKind::Scoreboard,
         }
     }
 }
@@ -66,12 +99,24 @@ impl PrefetchConfig {
         if self.lookahead == 0 {
             return Err("lookahead must be >= 1".into());
         }
+        if let PrefetchPolicyKind::Lookahead { depth } = self.policy {
+            if depth == 0 {
+                return Err("lookahead policy depth must be >= 1".into());
+            }
+        }
         Ok(())
     }
 
     /// Disable eviction (the paper's "prefetch without eviction" variant).
     pub fn without_eviction(mut self) -> Self {
         self.eviction = false;
+        self
+    }
+
+    /// Switch to the deterministic lookahead policy with the given
+    /// planning horizon.
+    pub fn with_lookahead_policy(mut self, depth: usize) -> Self {
+        self.policy = PrefetchPolicyKind::Lookahead { depth };
         self
     }
 }
@@ -116,5 +161,22 @@ mod tests {
         assert!(c.validate().is_ok(), "delta=0 fine without eviction");
         c.lookahead = 0;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn default_policy_is_scoreboard() {
+        let c = PrefetchConfig::default();
+        assert_eq!(c.policy, PrefetchPolicyKind::Scoreboard);
+        assert_eq!(c.policy.name(), "scoreboard");
+    }
+
+    #[test]
+    fn lookahead_policy_validates_depth() {
+        let c = PrefetchConfig::default().with_lookahead_policy(4);
+        assert_eq!(c.policy, PrefetchPolicyKind::Lookahead { depth: 4 });
+        assert_eq!(c.policy.name(), "lookahead");
+        assert!(c.validate().is_ok());
+        let bad = PrefetchConfig::default().with_lookahead_policy(0);
+        assert!(bad.validate().is_err());
     }
 }

@@ -53,10 +53,16 @@ impl Mode {
     pub fn label(&self) -> String {
         match self {
             Mode::Baseline => "DistDGL".into(),
-            Mode::Prefetch(c) if c.eviction => {
-                format!("Prefetch+Evict(f={},γ={},Δ={})", c.f_h, c.gamma, c.delta)
+            Mode::Prefetch(c) => {
+                if let crate::config::PrefetchPolicyKind::Lookahead { depth } = c.policy {
+                    return format!("Prefetch+Lookahead(d={},f={})", depth, c.f_h);
+                }
+                if c.eviction {
+                    format!("Prefetch+Evict(f={},γ={},Δ={})", c.f_h, c.gamma, c.delta)
+                } else {
+                    format!("Prefetch(f={})", c.f_h)
+                }
             }
-            Mode::Prefetch(c) => format!("Prefetch(f={})", c.f_h),
         }
     }
 }
@@ -175,6 +181,9 @@ pub struct Breakdown {
     pub copy_s: f64,
     /// DDP training.
     pub train_s: f64,
+    /// Lookahead-planned pulls (policy work off the critical RPC path;
+    /// 0.0 under the scoreboard policy).
+    pub planned_s: f64,
 }
 
 impl Breakdown {
@@ -185,6 +194,7 @@ impl Breakdown {
         self.evict_s += t.t_evict;
         self.rpc_s += t.t_rpc;
         self.copy_s += t.t_copy;
+        self.planned_s += t.t_planned;
     }
 
     /// Sum of all components (serial work, ignoring overlap).
@@ -196,6 +206,7 @@ impl Breakdown {
             + self.rpc_s
             + self.copy_s
             + self.train_s
+            + self.planned_s
     }
 
     /// The paper's §V-B5 communication stall:
@@ -221,6 +232,11 @@ impl Breakdown {
             // Fault time is already folded into `rpc_s`; its lane-level
             // span is an out-of-band annotation, not a breakdown field.
             Phase::Fault => None,
+            // Planned pulls are out-of-band like Fault: tracked in
+            // `planned_s` but emitted only on steps where the lookahead
+            // planner actually pulled, so span-count checks over
+            // `Phase::ALL` must not include them.
+            Phase::Planned => None,
         }
     }
 }
@@ -793,6 +809,16 @@ impl Engine {
                     Some(r) => CommMetrics::with_recorder(Arc::clone(r)),
                     None => CommMetrics::new(),
                 });
+                let loader = DataLoader::new(
+                    seeds.clone(),
+                    cfg.batch_size,
+                    cfg.seed ^ (t as u64).wrapping_mul(0x517c_c1b7_2722_0a95),
+                );
+                let sampler = NeighborSampler::with_strategy(
+                    cfg.fanouts.clone(),
+                    cfg.sampling,
+                    cfg.seed ^ (t as u64).wrapping_mul(0xda94_2042_e4dd_58b5),
+                );
                 let mut init = InitReport::default();
                 let prefetcher = match cfg.mode {
                     Mode::Baseline => None,
@@ -806,6 +832,22 @@ impl Engine {
                             &metrics,
                         );
                         pf.set_pooling(cfg.pooling);
+                        if let crate::config::PrefetchPolicyKind::Lookahead { depth } = pcfg.policy
+                        {
+                            // The planner replays the run loop's
+                            // step→(epoch, batch) mapping, so it must use
+                            // the *engine's* synchronized steps-per-epoch
+                            // (the min shard), not this loader's own
+                            // batch count.
+                            pf.set_policy(Box::new(crate::policy::LookaheadPolicy::new(
+                                depth,
+                                loader.clone(),
+                                sampler.clone(),
+                                self.steps_per_epoch(),
+                                cfg.epochs,
+                                part.num_halo(),
+                            )));
+                        }
                         init = rep;
                         Some(pf)
                     }
@@ -819,16 +861,8 @@ impl Engine {
                 TrainerState {
                     part,
                     pipeline,
-                    loader: DataLoader::new(
-                        seeds.clone(),
-                        cfg.batch_size,
-                        cfg.seed ^ (t as u64).wrapping_mul(0x517c_c1b7_2722_0a95),
-                    ),
-                    sampler: NeighborSampler::with_strategy(
-                        cfg.fanouts.clone(),
-                        cfg.sampling,
-                        cfg.seed ^ (t as u64).wrapping_mul(0xda94_2042_e4dd_58b5),
-                    ),
+                    loader,
+                    sampler,
                     prefetcher,
                     metrics,
                     recorder,
@@ -1394,7 +1428,7 @@ impl Engine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::ScoreLayout;
+    use crate::config::{PrefetchPolicyKind, ScoreLayout};
 
     fn base_cfg() -> EngineConfig {
         EngineConfig {
@@ -1418,6 +1452,7 @@ mod tests {
             eviction: true,
             layout: ScoreLayout::Dense,
             lookahead: 1,
+            policy: PrefetchPolicyKind::Scoreboard,
         })
     }
 
@@ -1565,6 +1600,7 @@ mod tests {
             eviction: true,
             layout: ScoreLayout::Dense,
             lookahead: 1,
+            policy: PrefetchPolicyKind::Scoreboard,
         });
         let report = Engine::build(cfg).run();
         let agg = report.aggregate_metrics();
@@ -1822,8 +1858,9 @@ mod tests {
             rpc_s: 16.0,
             copy_s: 32.0,
             train_s: 64.0,
+            planned_s: 128.0,
         };
-        assert_eq!(b.total_serial(), 127.0);
+        assert_eq!(b.total_serial(), 255.0);
         assert_eq!(Breakdown::default().total_serial(), 0.0);
     }
 

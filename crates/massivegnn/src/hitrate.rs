@@ -72,6 +72,12 @@ impl HitRateTracker {
 
     /// Non-overlapping window means: one point per `window` minibatches
     /// (ragged tail included) — the Fig. 10 series.
+    ///
+    /// Windows with no lookups at all are *skipped*, not emitted as 0.0:
+    /// a minibatch that touched no halo nodes carries no hit-rate signal,
+    /// and a spurious zero would drag both the plotted series and the
+    /// [`trend`](Self::trend) slope down. (`cumulative` needs no such
+    /// guard — empty batches contribute nothing to either sum.)
     pub fn windowed(&self, window: usize) -> Vec<f64> {
         assert!(window > 0);
         let mut out = Vec::new();
@@ -80,11 +86,9 @@ impl HitRateTracker {
             let end = (i + window).min(self.len());
             let h: u64 = self.hits[i..end].iter().sum();
             let m: u64 = self.misses[i..end].iter().sum();
-            out.push(if h + m == 0 {
-                0.0
-            } else {
-                h as f64 / (h + m) as f64
-            });
+            if h + m > 0 {
+                out.push(h as f64 / (h + m) as f64);
+            }
             i = end;
         }
         out
@@ -166,6 +170,46 @@ mod tests {
         let mut t = HitRateTracker::new();
         t.record(0, 0);
         assert_eq!(t.at(0), 0.0);
-        assert_eq!(t.windowed(1), vec![0.0]);
+        // An all-empty window emits no series point at all.
+        assert_eq!(t.windowed(1), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn empty_batches_do_not_drag_the_series() {
+        // Perfect hit rate interleaved with zero-lookup minibatches: the
+        // series must read 1.0 throughout, not dip to 0.0 on the gaps.
+        let mut t = HitRateTracker::new();
+        for i in 0..10 {
+            if i % 2 == 0 {
+                t.record(5, 0);
+            } else {
+                t.record(0, 0);
+            }
+        }
+        let w = t.windowed(1);
+        assert_eq!(w.len(), 5, "empty minibatches must be skipped");
+        assert!(w.iter().all(|&y| y == 1.0));
+        // Mixed windows still average over the batches that had lookups.
+        let w2 = t.windowed(2);
+        assert_eq!(w2.len(), 5);
+        assert!(w2.iter().all(|&y| y == 1.0));
+        // Cumulative stays exact (5 windows × 5 hits, 0 misses).
+        assert_eq!(t.cumulative(), 1.0);
+    }
+
+    #[test]
+    fn trend_is_flat_over_gappy_perfect_series() {
+        // Before the fix the zero-lookup gaps alternated the windowed
+        // series between 1.0 and 0.0, producing a bogus slope; now the
+        // trend over a constant (gappy) hit rate is exactly flat.
+        let mut t = HitRateTracker::new();
+        for i in 0..20 {
+            if i % 4 == 0 {
+                t.record(0, 0);
+            } else {
+                t.record(3, 1);
+            }
+        }
+        assert!(t.trend(1).abs() < 1e-12);
     }
 }

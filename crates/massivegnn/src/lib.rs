@@ -66,15 +66,17 @@ pub mod hitrate;
 pub mod init;
 pub mod perfmodel;
 pub mod pipeline;
+pub mod policy;
 pub mod prefetcher;
 pub mod scoreboard;
 pub mod serialize;
 pub mod tradeoff;
 
 pub use buffer::PrefetchBuffer;
-pub use config::{PrefetchConfig, ScoreLayout};
+pub use config::{PrefetchConfig, PrefetchPolicyKind, ScoreLayout};
 pub use engine::{Engine, EngineConfig, Mode, RunReport};
 pub use mgnn_net::{FaultProfile, RetryPolicy};
+pub use policy::{LookaheadPolicy, PlanCtx, PrefetchPolicy, ScoreboardPolicy};
 pub use prefetcher::{Prefetcher, PrepareScratch, PreparedBatch};
 
 /// With `alloc-count` on, the whole process allocates through the

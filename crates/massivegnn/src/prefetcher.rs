@@ -25,6 +25,7 @@
 
 use crate::buffer::PrefetchBuffer;
 use crate::config::{PrefetchConfig, ScoreLayout};
+use crate::policy::{PlanCtx, PrefetchPolicy, ScoreboardPolicy};
 use crate::scoreboard::{AccessScores, EvictionScores};
 use mgnn_graph::NodeId;
 use mgnn_net::{CommMetrics, CostModel, SimCluster};
@@ -48,16 +49,22 @@ pub struct PrepareTiming {
     pub t_rpc: f64,
     /// Local feature gather.
     pub t_copy: f64,
+    /// Planned lookahead pulls (rows fetched for future minibatches by
+    /// the lookahead policy). Exactly 0.0 under the scoreboard policy.
+    pub t_planned: f64,
 }
 
 impl PrepareTiming {
     /// Eq. 3: `t_prepare = t_sampling + t_lookup + t_scoring (+ eviction)
-    /// + max(t_RPC, t_copy)`.
+    /// (+ planned pulls) + max(t_RPC, t_copy)`. The planned-pull term is
+    /// exactly 0.0 under the scoreboard policy, keeping its sums
+    /// bitwise-unchanged.
     pub fn t_prepare(&self) -> f64 {
         self.t_sampling
             + self.t_lookup
             + self.t_scoring
             + self.t_evict
+            + self.t_planned
             + self.t_rpc.max(self.t_copy)
     }
 }
@@ -158,6 +165,9 @@ pub struct Prefetcher {
     /// bitwise-identical outputs, baseline allocation behavior.
     pooling: bool,
     scratch: PrepareScratch,
+    /// Admission/eviction/pull policy (DESIGN §10). The scoreboard
+    /// default keeps every decision on the original Algorithm 2 path.
+    policy: Box<dyn PrefetchPolicy>,
 }
 
 impl Prefetcher {
@@ -182,7 +192,18 @@ impl Prefetcher {
             peak_transient_bytes: 0,
             pooling: true,
             scratch: PrepareScratch::default(),
+            policy: Box::new(ScoreboardPolicy),
         }
+    }
+
+    /// Install a prefetch policy (default: [`ScoreboardPolicy`]).
+    pub fn set_policy(&mut self, policy: Box<dyn PrefetchPolicy>) {
+        self.policy = policy;
+    }
+
+    /// Name of the policy in force.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
     }
 
     /// The Eq. 1 threshold in force.
@@ -260,6 +281,20 @@ impl Prefetcher {
         let num_local = part.num_local();
         let dim = cluster.dim();
 
+        // Policy planning round (DESIGN §10): the lookahead planner
+        // pulls future minibatches' halo rows into the buffer here,
+        // before this step's probe. The scoreboard policy is a no-op
+        // returning exactly 0.0, so its path is bitwise-unchanged.
+        let reactive = self.policy.reactive();
+        let t_planned = self.policy.plan(PlanCtx {
+            buffer: &mut self.buffer,
+            part,
+            cluster,
+            cost,
+            metrics,
+            step,
+        });
+
         // Line 1: sample the neighborhood.
         sampler.sample_into(part, seeds, epoch, step, &mut mb, &mut scratch.sampler);
         let t_sampling = cost.t_sampling(mb.total_edges());
@@ -287,31 +322,38 @@ impl Prefetcher {
             .probe_batch_into(&scratch.halo_idx, &mut scratch.hits, &mut scratch.misses);
         let t_lookup = cost.t_lookup(scratch.halo_ids.len() + self.buffer.len());
 
-        // Lines 6–9: decay S_E of buffered nodes not sampled this step;
-        // a sampled (hit) node's score returns to the initial 1 (paper
-        // Fig. 4 shows used nodes back at score 1 — without the reset,
-        // every node's lifetime idle budget is finite and even hot nodes
-        // churn out, which contradicts the paper's observed hit-rate
-        // growth).
-        let decayed = {
-            let buffer = &self.buffer;
-            let sampled_stamp = &self.sampled_stamp;
-            self.s_e
-                .decay_or_reset_prefix(buffer.len(), self.cfg.gamma, |slot| {
-                    sampled_stamp[buffer.halo_at(slot) as usize] == stamp
-                })
-        };
-
-        // Line 21: S_A increments for misses (batched; the memory-
-        // efficient layout binary-searches in parallel, §IV-B).
+        // Lines 6–9 + 21 are the *reactive* scoreboard passes; a
+        // planning policy manages the buffer itself and skips them
+        // (its scoring cost is already charged to `t_planned`).
         let halo_nodes = &part.halo_nodes;
-        scratch.miss_globals.clear();
-        scratch
-            .miss_globals
-            .extend(scratch.misses.iter().map(|&h| halo_nodes[h as usize]));
-        self.s_a.increment_batch(halo_nodes, &scratch.miss_globals);
-        let mem_eff = self.cfg.layout == ScoreLayout::MemEfficient;
-        let t_scoring = cost.t_scoring(decayed + scratch.misses.len(), mem_eff, part.num_halo());
+        let t_scoring = if reactive {
+            // Decay S_E of buffered nodes not sampled this step; a
+            // sampled (hit) node's score returns to the initial 1 (paper
+            // Fig. 4 shows used nodes back at score 1 — without the
+            // reset, every node's lifetime idle budget is finite and
+            // even hot nodes churn out, which contradicts the paper's
+            // observed hit-rate growth).
+            let decayed = {
+                let buffer = &self.buffer;
+                let sampled_stamp = &self.sampled_stamp;
+                self.s_e
+                    .decay_or_reset_prefix(buffer.len(), self.cfg.gamma, |slot| {
+                        sampled_stamp[buffer.halo_at(slot) as usize] == stamp
+                    })
+            };
+
+            // Line 21: S_A increments for misses (batched; the memory-
+            // efficient layout binary-searches in parallel, §IV-B).
+            scratch.miss_globals.clear();
+            scratch
+                .miss_globals
+                .extend(scratch.misses.iter().map(|&h| halo_nodes[h as usize]));
+            self.s_a.increment_batch(halo_nodes, &scratch.miss_globals);
+            let mem_eff = self.cfg.layout == ScoreLayout::MemEfficient;
+            cost.t_scoring(decayed + scratch.misses.len(), mem_eff, part.num_halo())
+        } else {
+            0.0
+        };
 
         // Map miss halo idx -> row in the bulk fetch payload.
         let rstamp = scratch.mark_rows(part.num_halo());
@@ -320,10 +362,12 @@ impl Prefetcher {
             scratch.row_val[h as usize] = i as u32;
         }
 
-        // Lines 12–17: Δ-periodic evict-and-replace.
+        // Lines 12–17: Δ-periodic evict-and-replace (reactive policies
+        // only — a planner's installs already happened in its round).
         let mut t_evict = 0.0;
         scratch.replacements.clear();
-        if self.cfg.eviction
+        if reactive
+            && self.cfg.eviction
             && self.cfg.delta > 0
             && step > 0
             && step.is_multiple_of(self.cfg.delta as u64)
@@ -396,19 +440,27 @@ impl Prefetcher {
         let t_fault = outcome.charge_s(cost, dim, cluster.retry_policy());
         let t_rpc = cost.t_rpc(scratch.fetch_ids.len(), dim) + t_fault;
         // Spans of this preparation, at their Eq. 3 offsets within the
-        // prepare window: the serial prefix runs sampling → lookup →
-        // scoring → evict, then RPC and copy overlap at its end. No-ops
-        // when tracing is off (the metrics carry no recorder).
-        metrics.span(step, Phase::Sampling, 0.0, t_sampling);
-        metrics.span(step, Phase::Lookup, t_sampling, t_lookup);
-        metrics.span(step, Phase::Scoring, t_sampling + t_lookup, t_scoring);
+        // prepare window: a planning round (if any) runs first, then the
+        // serial prefix sampling → lookup → scoring → evict, then RPC
+        // and copy overlap at its end. No-ops when tracing is off (the
+        // metrics carry no recorder). `t_planned` is exactly 0.0 under
+        // the scoreboard policy, so these offsets are bitwise-unchanged
+        // there.
+        metrics.span(step, Phase::Sampling, t_planned, t_sampling);
+        metrics.span(step, Phase::Lookup, t_planned + t_sampling, t_lookup);
+        metrics.span(
+            step,
+            Phase::Scoring,
+            t_planned + t_sampling + t_lookup,
+            t_scoring,
+        );
         metrics.span(
             step,
             Phase::Evict,
-            t_sampling + t_lookup + t_scoring,
+            t_planned + t_sampling + t_lookup + t_scoring,
             t_evict,
         );
-        let serial = t_sampling + t_lookup + t_scoring + t_evict;
+        let serial = t_planned + t_sampling + t_lookup + t_scoring + t_evict;
         metrics.record_rpc_spanned(scratch.fetch_ids.len() as u64, dim, step, serial, t_rpc);
         metrics.record_lookup(scratch.hits.len() as u64, scratch.misses.len() as u64);
         metrics.record_pull_outcome(&outcome);
@@ -522,6 +574,7 @@ impl Prefetcher {
             t_evict,
             t_rpc,
             t_copy,
+            t_planned,
         };
         let input = Tensor::from_vec(mb.input_nodes.len(), dim, input_vec);
         self.scratch = scratch;
@@ -680,6 +733,7 @@ pub fn baseline_prepare_reuse(
         t_evict: 0.0,
         t_rpc,
         t_copy,
+        t_planned: 0.0,
     };
     let input = Tensor::from_vec(mb.input_nodes.len(), dim, input_vec);
     PreparedBatch {

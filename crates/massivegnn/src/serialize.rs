@@ -20,6 +20,7 @@ impl Serialize for Breakdown {
             ("rpc_s", self.rpc_s.to_value()),
             ("copy_s", self.copy_s.to_value()),
             ("train_s", self.train_s.to_value()),
+            ("planned_s", self.planned_s.to_value()),
             ("total_serial_s", self.total_serial().to_value()),
             (
                 "communication_stall_s",

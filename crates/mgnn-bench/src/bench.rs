@@ -344,7 +344,17 @@ fn bench_end_to_end(seed: u64, iters: usize) -> Value {
 pub fn run_all(seed: u64, iters: usize) -> Value {
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let threads = rayon::current_num_threads();
-    eprintln!("[bench: {cores} cores, pool of {threads} threads, {iters} iters per kernel]");
+    // The override that produced `threads`, if any: numbers recorded on a
+    // single-core host (or with a forced width) are not comparable to
+    // multi-core runs, and CI reads these fields to decide whether the
+    // perf guard is meaningful at all.
+    let mgnn_threads = std::env::var("MGNN_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<u64>().ok());
+    eprintln!(
+        "[bench: {cores} cores, pool of {threads} threads (MGNN_THREADS={}), {iters} iters per kernel]",
+        mgnn_threads.map_or_else(|| "unset".into(), |n| n.to_string())
+    );
     let matmul = bench_matmul(iters);
     eprintln!("[bench: matmul done]");
     let probe = bench_probe_batch(iters);
@@ -364,6 +374,10 @@ pub fn run_all(seed: u64, iters: usize) -> Value {
         ("seed", seed.to_value()),
         ("cores", (cores as u64).to_value()),
         ("threads", (threads as u64).to_value()),
+        (
+            "mgnn_threads",
+            mgnn_threads.map_or(Value::Null, |n| n.to_value()),
+        ),
         ("iters", (iters as u64).to_value()),
         (
             "kernels",
@@ -406,6 +420,9 @@ mod tests {
             "\"pull_grouped\"",
             "\"prepare\"",
             "\"end_to_end\"",
+            "\"cores\"",
+            "\"threads\"",
+            "\"mgnn_threads\"",
             "\"speedup\"",
             "\"allocs_per_step\"",
             "\"alloc_peak_bytes\"",

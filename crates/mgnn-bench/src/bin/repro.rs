@@ -13,6 +13,7 @@
 //! Chrome/Perfetto `*.trace.json` per run (open at <https://ui.perfetto.dev>)
 //! plus an `index.json` mapping files to experiments.
 
+use massivegnn::PrefetchPolicyKind;
 use mgnn_bench::{bench, experiments, figures::chaos, Opts};
 use mgnn_graph::Scale;
 use mgnn_net::FaultProfile;
@@ -24,6 +25,7 @@ fn usage() -> ! {
         "usage: repro --experiment <{}|all> [--scale unit|small|bench] [--epochs N] [--batch N] \
          [--hidden N] [--full] [--seed N] [--trace-out DIR] [--json-out FILE] \
          [--bench-out FILE] [--bench-iters N] [--perf-guard] \
+         [--policy scoreboard|lookahead] [--depth N] \
          [--fault-profile <{}>] [--fault-seed N]",
         experiments::names().join("|"),
         FaultProfile::NAMES.join("|")
@@ -109,6 +111,31 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage());
             }
+            "--policy" => {
+                i += 1;
+                opts.policy = match args.get(i).map(String::as_str) {
+                    Some("scoreboard") => PrefetchPolicyKind::Scoreboard,
+                    Some("lookahead") => {
+                        // Keep a --depth seen earlier on the line;
+                        // depth 1 (just-in-time) is the robust default.
+                        let depth = match opts.policy {
+                            PrefetchPolicyKind::Lookahead { depth } => depth,
+                            PrefetchPolicyKind::Scoreboard => 1,
+                        };
+                        PrefetchPolicyKind::Lookahead { depth }
+                    }
+                    _ => usage(),
+                };
+            }
+            "--depth" => {
+                i += 1;
+                let depth: usize = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|d| *d >= 1)
+                    .unwrap_or_else(|| usage());
+                opts.policy = PrefetchPolicyKind::Lookahead { depth };
+            }
             "--fault-profile" => {
                 i += 1;
                 let name = args.get(i).cloned().unwrap_or_else(|| usage());
@@ -145,22 +172,35 @@ fn main() {
         // Perf guard (CI): the end-to-end threaded engine must not fall
         // behind the sequential one beyond the shared tolerance.
         if perf_guard {
-            let speedup = doc
-                .get("end_to_end")
-                .and_then(|e| e.get("speedup"))
+            // A single-core host has no helpers to speed the threaded
+            // engine up, so the speedup floor would flag the hardware,
+            // not a regression. Warn and skip instead of failing.
+            let cores = doc
+                .get("cores")
                 .and_then(Value::as_f64)
-                .expect("bench document carries end_to_end.speedup");
-            if speedup < bench::PERF_GUARD_MIN_SPEEDUP {
+                .expect("bench document carries cores");
+            if cores <= 1.0 {
                 eprintln!(
-                    "perf guard: end-to-end speedup {speedup:.3} fell below the floor {:.2}",
+                    "perf guard: skipped — single-core host cannot exercise the threaded engine"
+                );
+            } else {
+                let speedup = doc
+                    .get("end_to_end")
+                    .and_then(|e| e.get("speedup"))
+                    .and_then(Value::as_f64)
+                    .expect("bench document carries end_to_end.speedup");
+                if speedup < bench::PERF_GUARD_MIN_SPEEDUP {
+                    eprintln!(
+                        "perf guard: end-to-end speedup {speedup:.3} fell below the floor {:.2}",
+                        bench::PERF_GUARD_MIN_SPEEDUP
+                    );
+                    std::process::exit(1);
+                }
+                eprintln!(
+                    "[perf guard: speedup {speedup:.3} >= {:.2}]",
                     bench::PERF_GUARD_MIN_SPEEDUP
                 );
-                std::process::exit(1);
             }
-            eprintln!(
-                "[perf guard: speedup {speedup:.3} >= {:.2}]",
-                bench::PERF_GUARD_MIN_SPEEDUP
-            );
         }
         if experiment.is_none() {
             return;

@@ -96,7 +96,7 @@ pub const ALL: &[Experiment] = &[
     },
     Experiment {
         name: "lookahead",
-        about: "Pipeline lookahead depth study",
+        about: "Prefetch policy study: reactive scoreboard vs deterministic lookahead",
         run: |o| lookahead::run(o).to_string(),
     },
     Experiment {

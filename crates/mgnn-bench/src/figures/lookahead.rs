@@ -1,62 +1,98 @@
-//! Look-ahead depth study (beyond the paper's figures): the paper's
+//! Prefetch-policy study (beyond the paper's figures): the paper's
 //! future work proposes "options to prefetch future minibatches … towards
-//! a sustainable 'perfect overlap' model for various GPU-based
-//! configurations". We generalize Eq. 5 to a bounded queue of depth `k`
-//! and measure: deeper queues cannot raise steady-state throughput (the
-//! slower stage still binds), but they absorb the Δ-periodic eviction
-//! bursts in `t_prepare`, pushing GPU overlap efficiency toward 1.
+//! a sustainable 'perfect overlap' model". Because the sampler and the
+//! epoch plan are both seeded, every future minibatch's halo needs are
+//! *computable* — the lookahead policy (DESIGN §10) walks the memoized
+//! epoch plan `depth` steps ahead and pulls not-yet-resident rows before
+//! they are due, off the critical RPC path. This study compares the
+//! paper's reactive scoreboard against lookahead at increasing depths on
+//! the same seed: cumulative hit rate should approach 100% and the
+//! critical-path remote-fetch time should collapse into `planned_s`.
 
 use crate::harness::{engine_config, Opts};
-use massivegnn::{Engine, Mode, PrefetchConfig};
+use massivegnn::{Engine, Mode, PrefetchConfig, PrefetchPolicyKind};
 use mgnn_graph::DatasetKind;
 use mgnn_net::Backend;
 use std::fmt;
 
-/// One look-ahead depth's outcome.
+/// One policy's outcome on the shared seed.
 #[derive(Debug, Clone)]
 pub struct Point {
-    /// Queue depth `k`.
-    pub lookahead: usize,
+    /// Report label (`Mode::label()`).
+    pub label: String,
+    /// Cumulative buffer hit rate over the whole run.
+    pub hit_rate: f64,
+    /// Critical-path remote fetch time (breakdown `rpc_s`, all trainers).
+    pub rpc_s: f64,
+    /// Planner pull time charged off the critical path (`planned_s`).
+    pub planned_s: f64,
     /// Makespan (s).
     pub time_s: f64,
-    /// Mean overlap efficiency.
-    pub overlap_efficiency: f64,
     /// Mean stall per trainer (s).
     pub stall_s: f64,
 }
 
-/// The study.
+/// The study: scoreboard vs lookahead-at-depths, plus the DistDGL
+/// baseline for reference.
 pub struct Lookahead {
-    /// Points over queue depths.
+    /// First point is the scoreboard; the rest are lookahead depths.
     pub points: Vec<Point>,
     /// Baseline (DistDGL) time for reference.
     pub baseline_s: f64,
 }
 
-/// Sweep lookahead ∈ {1, 2, 4, 8} on the GPU backend with frequent
-/// eviction rounds (bursty preparation).
+fn measure(cfg: massivegnn::EngineConfig) -> Point {
+    let label = cfg.mode.label();
+    let r = Engine::build(cfg).run();
+    let n = r.trainers.len() as f64;
+    Point {
+        label,
+        hit_rate: r.hit_rate(),
+        rpc_s: r.trainers.iter().map(|t| t.breakdown.rpc_s).sum(),
+        planned_s: r.trainers.iter().map(|t| t.breakdown.planned_s).sum(),
+        time_s: r.makespan_s,
+        stall_s: r.trainers.iter().map(|t| t.stall_s).sum::<f64>() / n,
+    }
+}
+
+/// Run scoreboard and lookahead on the same seed. With `--policy
+/// lookahead --depth N` only that depth is measured; otherwise depths
+/// {1, 2, 4} are swept. Depth 1 (pull each batch's rows one step ahead,
+/// just in time) is the robust choice: deeper horizons pay off only
+/// when the buffer comfortably holds the whole window's working set,
+/// and on tiny graphs — where a single minibatch samples a large
+/// fraction of the halo — they pin rows across their whole lifetime
+/// and starve near-due installs.
 pub fn run(opts: &Opts) -> Lookahead {
-    let mut base = engine_config(opts, DatasetKind::Products, Backend::Gpu, 2);
-    base.epochs = (opts.epochs * 4).max(8);
+    // Pin the sampling shape: with the repro CLI's paper-shaped batch
+    // size and fanouts on a unit-scale graph, a single minibatch
+    // samples most of the halo and *every* policy degenerates to
+    // capacity starvation (cf. `Opts::longrun_of` for the eviction
+    // figures). A modest sampled set keeps the depth sweep meaningful.
+    let mut sopts = opts.clone();
+    sopts.batch_size = sopts.batch_size.min(96);
+    sopts.fanouts = vec![5, 10];
+    let mut base = engine_config(&sopts, DatasetKind::Products, Backend::Gpu, 2);
+    base.epochs = (opts.epochs * 2).max(4); // several steady epochs
     let baseline = Engine::build(base.clone()).run();
+    let pcfg = PrefetchConfig {
+        f_h: 0.5,
+        gamma: 0.995,
+        delta: 64,
+        ..Default::default()
+    };
     let mut points = Vec::new();
-    for lookahead in [1usize, 2, 4, 8] {
+    let mut cfg = base.clone();
+    cfg.mode = Mode::Prefetch(pcfg);
+    points.push(measure(cfg));
+    let depths: Vec<usize> = match opts.policy {
+        PrefetchPolicyKind::Lookahead { depth } => vec![depth],
+        PrefetchPolicyKind::Scoreboard => vec![1, 2, 4],
+    };
+    for depth in depths {
         let mut cfg = base.clone();
-        cfg.mode = Mode::Prefetch(PrefetchConfig {
-            f_h: 0.25,
-            gamma: 0.95,
-            delta: 8, // frequent eviction ⇒ bursty t_prepare
-            lookahead,
-            ..Default::default()
-        });
-        let r = Engine::build(cfg).run();
-        let n = r.trainers.len() as f64;
-        points.push(Point {
-            lookahead,
-            time_s: r.makespan_s,
-            overlap_efficiency: r.mean_overlap_efficiency(),
-            stall_s: r.trainers.iter().map(|t| t.stall_s).sum::<f64>() / n,
-        });
+        cfg.mode = Mode::Prefetch(pcfg.with_lookahead_policy(depth));
+        points.push(measure(cfg));
     }
     Lookahead {
         points,
@@ -68,21 +104,23 @@ impl fmt::Display for Lookahead {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "Look-ahead depth (paper future work) — GPU, bursty eviction (baseline {:.3}s)",
+            "Prefetch policy study — scoreboard vs deterministic lookahead (baseline {:.3}s)",
             self.baseline_s
         )?;
         writeln!(
             f,
-            "{:>9} {:>10} {:>9} {:>10}",
-            "lookahead", "time(s)", "overlap%", "stall(s)"
+            "{:>28} {:>8} {:>10} {:>11} {:>10} {:>10}",
+            "policy", "hit%", "rpc(s)", "planned(s)", "time(s)", "stall(s)"
         )?;
         for p in &self.points {
             writeln!(
                 f,
-                "{:>9} {:>10.4} {:>9.0} {:>10.4}",
-                p.lookahead,
+                "{:>28} {:>8.2} {:>10.4} {:>11.4} {:>10.4} {:>10.4}",
+                p.label,
+                100.0 * p.hit_rate,
+                p.rpc_s,
+                p.planned_s,
                 p.time_s,
-                100.0 * p.overlap_efficiency,
                 p.stall_s
             )?;
         }
@@ -95,26 +133,39 @@ mod tests {
     use super::*;
 
     #[test]
-    fn deeper_lookahead_never_slower() {
+    fn lookahead_beats_scoreboard_on_hits_and_critical_path() {
         let mut opts = Opts::quick();
         opts.epochs = 3;
         let study = run(&opts);
-        for w in study.points.windows(2) {
+        let scoreboard = &study.points[0];
+        assert!(scoreboard.label.contains("Evict"));
+        assert_eq!(scoreboard.planned_s, 0.0, "scoreboard must not plan");
+        for p in &study.points[1..] {
+            assert!(p.label.contains("Lookahead"));
             assert!(
-                w[1].time_s <= w[0].time_s * 1.001,
-                "k={} ({:.4}s) slower than k={} ({:.4}s)",
-                w[1].lookahead,
-                w[1].time_s,
-                w[0].lookahead,
-                w[0].time_s
+                p.hit_rate > scoreboard.hit_rate,
+                "{}: hit rate {:.4} not above scoreboard {:.4}",
+                p.label,
+                p.hit_rate,
+                scoreboard.hit_rate
             );
+            assert!(
+                p.rpc_s < scoreboard.rpc_s,
+                "{}: critical-path rpc {:.4}s not below scoreboard {:.4}s",
+                p.label,
+                p.rpc_s,
+                scoreboard.rpc_s
+            );
+            assert!(p.planned_s > 0.0, "{}: planner never pulled", p.label);
         }
-        // Depth ≥ 2 should not reduce overlap efficiency.
+        // The planner re-runs the exact future sampler, so steady-state
+        // demand lookups should essentially always hit.
+        let deepest = study.points.last().unwrap();
         assert!(
-            study.points.last().unwrap().overlap_efficiency + 1e-9
-                >= study.points[0].overlap_efficiency,
-            "deep queue lost efficiency"
+            deepest.hit_rate > 0.95,
+            "deepest lookahead hit rate {:.4} not near 1",
+            deepest.hit_rate
         );
-        assert!(format!("{study}").contains("Look-ahead"));
+        assert!(format!("{study}").contains("policy study"));
     }
 }

@@ -1,7 +1,9 @@
 //! Shared experiment plumbing: option handling, engine-config presets,
 //! parameter sweeps and report formatting.
 
-use massivegnn::{Engine, EngineConfig, Mode, PrefetchConfig, RunReport, ScoreLayout};
+use massivegnn::{
+    Engine, EngineConfig, Mode, PrefetchConfig, PrefetchPolicyKind, RunReport, ScoreLayout,
+};
 use mgnn_graph::{DatasetKind, Scale};
 use mgnn_model::ModelKind;
 use mgnn_net::{Backend, FaultProfile, RetryPolicy};
@@ -37,6 +39,11 @@ pub struct Opts {
     /// same training run can be replayed under different fault
     /// schedules).
     pub fault_seed: u64,
+    /// Prefetch policy selected on the CLI (`--policy`/`--depth`).
+    /// Honored by the policy-aware experiments (the `lookahead` study
+    /// measures exactly this policy against the scoreboard); the
+    /// paper-figure experiments always use the paper's scoreboard.
+    pub policy: PrefetchPolicyKind,
 }
 
 impl Default for Opts {
@@ -52,6 +59,7 @@ impl Default for Opts {
             trace: false,
             fault_profile: None,
             fault_seed: 0xFA01,
+            policy: PrefetchPolicyKind::Scoreboard,
         }
     }
 }
@@ -339,6 +347,7 @@ pub fn optimize_prefetch(base: &EngineConfig, full: bool) -> Optimized {
                 eviction: true,
                 layout,
                 lookahead: 1,
+                policy: PrefetchPolicyKind::Scoreboard,
             });
             let r = Engine::build(cfg).run();
             if best

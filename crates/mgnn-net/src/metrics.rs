@@ -55,6 +55,14 @@ pub struct CommMetrics {
     /// Input rows zero-filled after retries were exhausted
     /// (degradation rung 3).
     pub degraded_rows: AtomicU64,
+    /// Planned lookahead pulls issued (one per planning round that
+    /// actually fetched rows). Zero under the scoreboard policy.
+    pub planned_pulls: AtomicU64,
+    /// Halo rows fetched ahead of their due step by the lookahead
+    /// planner. Also counted in `remote_nodes_fetched` (they are real
+    /// network traffic); this counter separates planned from
+    /// critical-path volume.
+    pub planned_rows: AtomicU64,
 }
 
 impl CommMetrics {
@@ -174,6 +182,28 @@ impl CommMetrics {
         }
     }
 
+    /// Record one planned lookahead pull fetching `nodes` rows of `dim`
+    /// f32 features ahead of their due step. Counts into the planned
+    /// counters *and* the remote-traffic totals ([`record_rpc`]
+    /// (Self::record_rpc)) — planned pulls move real bytes; the split
+    /// lets reports separate planned volume from critical-path fetches.
+    pub fn record_planned(&self, nodes: u64, dim: usize) {
+        if nodes == 0 {
+            return;
+        }
+        self.planned_pulls.fetch_add(1, Ordering::Relaxed);
+        self.planned_rows.fetch_add(nodes, Ordering::Relaxed);
+        self.record_rpc(nodes, dim);
+    }
+
+    /// Record a lookahead-lane span covering a planning round's pull
+    /// time within `step`'s prepare window.
+    pub fn planned_span(&self, step: u64, rel_start_s: f64, dur_s: f64) {
+        if let Some(r) = &self.recorder {
+            r.record(Lane::Lookahead, step, Phase::Planned, rel_start_s, dur_s);
+        }
+    }
+
     /// Cumulative hit rate (Eq. 8 of the paper): `h / (h + m)`;
     /// 0.0 before any lookup.
     pub fn hit_rate(&self) -> f64 {
@@ -205,6 +235,8 @@ impl CommMetrics {
             server_respawns: self.server_respawns.load(Ordering::Relaxed),
             stale_served: self.stale_served.load(Ordering::Relaxed),
             degraded_rows: self.degraded_rows.load(Ordering::Relaxed),
+            planned_pulls: self.planned_pulls.load(Ordering::Relaxed),
+            planned_rows: self.planned_rows.load(Ordering::Relaxed),
         }
     }
 }
@@ -244,6 +276,10 @@ pub struct MetricsSnapshot {
     pub stale_served: u64,
     /// Zero-filled input rows.
     pub degraded_rows: u64,
+    /// Planned lookahead pulls issued.
+    pub planned_pulls: u64,
+    /// Halo rows fetched ahead of need by the lookahead planner.
+    pub planned_rows: u64,
 }
 
 impl MetricsSnapshot {
@@ -276,6 +312,8 @@ impl MetricsSnapshot {
             server_respawns: self.server_respawns + other.server_respawns,
             stale_served: self.stale_served + other.stale_served,
             degraded_rows: self.degraded_rows + other.degraded_rows,
+            planned_pulls: self.planned_pulls + other.planned_pulls,
+            planned_rows: self.planned_rows + other.planned_rows,
         }
     }
 
@@ -312,6 +350,8 @@ impl Serialize for MetricsSnapshot {
             ("server_respawns", self.server_respawns.to_value()),
             ("stale_served", self.stale_served.to_value()),
             ("degraded_rows", self.degraded_rows.to_value()),
+            ("planned_pulls", self.planned_pulls.to_value()),
+            ("planned_rows", self.planned_rows.to_value()),
             ("hit_rate", self.hit_rate().to_value()),
         ])
     }
@@ -510,6 +550,37 @@ mod tests {
             .events
             .iter()
             .any(|e| e.lane == Lane::Fault && e.phase == Phase::Fault && e.step == 3));
+    }
+
+    #[test]
+    fn planned_pulls_count_into_remote_totals_and_own_counters() {
+        use mgnn_obs::{Lane, Phase};
+        use std::sync::Arc;
+        let rec = Arc::new(SpanRecorder::for_trainer(0, 0));
+        let m = CommMetrics::with_recorder(Arc::clone(&rec));
+        m.record_planned(0, 8); // empty planning round: no-op
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+        m.record_planned(5, 8);
+        m.planned_span(3, 0.0, 0.004);
+        let s = m.snapshot();
+        assert_eq!(s.planned_pulls, 1);
+        assert_eq!(s.planned_rows, 5);
+        assert_eq!(s.rpc_calls, 1, "planned pulls are real RPC traffic");
+        assert_eq!(s.remote_nodes_fetched, 5);
+        assert_eq!(s.remote_bytes, 5 * 8 * 4);
+        let t = rec.snapshot();
+        let p = t.phase(Phase::Planned).unwrap();
+        assert_eq!(p.count, 1);
+        assert!((p.sum_s - 0.004).abs() < 1e-15);
+        assert!(t
+            .events
+            .iter()
+            .any(|e| e.lane == Lane::Lookahead && e.phase == Phase::Planned && e.step == 3));
+        let merged = s.merge(&s);
+        assert_eq!(merged.planned_rows, 10);
+        let v = s.to_value();
+        assert_eq!(v.get("planned_pulls").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("planned_rows").unwrap().as_u64(), Some(5));
     }
 
     #[test]

@@ -97,12 +97,23 @@ impl LatencyHistogram {
 
     /// Approximate quantile `q ∈ [0, 1]`: the upper bound of the bucket
     /// holding the q-th recorded value, clamped to `[min, max]`. 0.0 when
-    /// empty.
+    /// empty; `q ≤ 0` (and NaN) return the observed min, `q ≥ 1` the
+    /// observed max.
     pub fn quantile(&self, q: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
         }
-        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        // Boundary quantiles bypass the bucket walk: a NaN `q` would
+        // otherwise silently truncate to the first bucket, and `q = 1`
+        // could under-report the max when a recorded duration exceeds
+        // the last bucket's nominal upper bound.
+        if q.is_nan() || q <= 0.0 {
+            return self.min_s();
+        }
+        if q >= 1.0 {
+            return self.max_s();
+        }
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
         let mut cum = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
             cum += c;
@@ -203,6 +214,58 @@ mod tests {
         h.record(1.0e30);
         assert_eq!(h.count(), 1);
         assert_eq!(h.p99_s(), 1.0e30); // clamped to observed max
+    }
+
+    #[test]
+    fn quantile_boundaries_pin_min_and_max() {
+        let mut h = LatencyHistogram::new();
+        h.record(1.0e-6);
+        h.record(1.0e-3);
+        h.record(1.0);
+        // q ≤ 0 (including far out of range) is the observed min, q ≥ 1
+        // the observed max — never a bucket bound.
+        assert_eq!(h.quantile(0.0), 1.0e-6);
+        assert_eq!(h.quantile(-3.0), 1.0e-6);
+        assert_eq!(h.quantile(1.0), 1.0);
+        assert_eq!(h.quantile(2.0), 1.0);
+        // NaN asks for nothing meaningful; pin it to the min rather than
+        // whatever bucket a silent NaN→0 cast used to land in.
+        assert_eq!(h.quantile(f64::NAN), 1.0e-6);
+        // Empty histograms answer 0.0 for every q, NaN included.
+        let empty = LatencyHistogram::new();
+        for q in [f64::NAN, -1.0, 0.0, 0.5, 1.0, 2.0] {
+            assert_eq!(empty.quantile(q), 0.0);
+        }
+    }
+
+    #[test]
+    fn quantile_of_sub_bucket_zero_durations() {
+        // Durations at or below the 1 ns anchor all land in bucket 0;
+        // the [min, max] clamp must keep quantiles at the observed
+        // values instead of bucket 0's 2 ns upper bound.
+        let mut h = LatencyHistogram::new();
+        for _ in 0..10 {
+            h.record(0.0);
+        }
+        assert_eq!(h.p50_s(), 0.0);
+        assert_eq!(h.p99_s(), 0.0);
+        let mut tiny = LatencyHistogram::new();
+        tiny.record(1.0e-10);
+        tiny.record(5.0e-10);
+        assert_eq!(tiny.quantile(0.0), 1.0e-10);
+        assert_eq!(tiny.quantile(1.0), 5.0e-10);
+        assert!(tiny.p50_s() <= 5.0e-10, "p50 left the observed range");
+    }
+
+    #[test]
+    fn q_one_reports_max_beyond_last_bucket_bound() {
+        // A duration past the last bucket's nominal upper bound used to
+        // make q=1 report that bound (~2^63 ns) instead of the max.
+        let mut h = LatencyHistogram::new();
+        h.record(1.0);
+        h.record(1.0e30);
+        assert_eq!(h.quantile(1.0), 1.0e30);
+        assert!(h.p50_s() >= 1.0);
     }
 
     #[test]

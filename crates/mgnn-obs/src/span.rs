@@ -46,6 +46,12 @@ pub enum Phase {
     /// only appears on steps where a fault fired, so it is excluded
     /// from [`Phase::ALL`] (whose consumers assert one span per step).
     Fault,
+    /// Planned lookahead pull: the lookahead prefetch policy fetching
+    /// halo rows for *future* minibatches ahead of their due step. Out
+    /// of band like [`Phase::Fault`]: it only appears on steps where
+    /// the planner actually pulled something, and its time is charged
+    /// to the prepare window, not to the critical-path `rpc` phase.
+    Planned,
 }
 
 impl Phase {
@@ -65,8 +71,8 @@ impl Phase {
     ];
 
     /// Every phase a recorder can report: [`Phase::ALL`] plus the
-    /// out-of-band fault phase.
-    pub const REPORTED: [Phase; 9] = [
+    /// out-of-band fault and planned-pull phases.
+    pub const REPORTED: [Phase; 10] = [
         Phase::Sampling,
         Phase::Lookup,
         Phase::Scoring,
@@ -76,7 +82,11 @@ impl Phase {
         Phase::Train,
         Phase::Allreduce,
         Phase::Fault,
+        Phase::Planned,
     ];
+
+    /// Number of distinct phases (size of per-phase dense arrays).
+    pub const COUNT: usize = 10;
 
     /// Dense index into per-phase arrays.
     pub fn index(self) -> usize {
@@ -90,6 +100,7 @@ impl Phase {
             Phase::Train => 6,
             Phase::Allreduce => 7,
             Phase::Fault => 8,
+            Phase::Planned => 9,
         }
     }
 
@@ -105,6 +116,7 @@ impl Phase {
             Phase::Train => "train",
             Phase::Allreduce => "allreduce",
             Phase::Fault => "fault",
+            Phase::Planned => "planned",
         }
     }
 }
@@ -127,6 +139,11 @@ pub enum Lane {
     /// `prep_start_s`, like [`Lane::Prepare`] — faults strike during
     /// preparation.
     Fault,
+    /// Planned lookahead pulls issued by the lookahead prefetch policy;
+    /// offsets are relative to the step's `prep_start_s` (the planner
+    /// runs at the head of the prepare window). Keeping these on their
+    /// own lane separates planned-pull time from critical-path `rpc`.
+    Lookahead,
 }
 
 impl Lane {
@@ -137,6 +154,7 @@ impl Lane {
             Lane::Train => "train",
             Lane::Server => "server",
             Lane::Fault => "fault",
+            Lane::Lookahead => "lookahead",
         }
     }
 
@@ -147,6 +165,7 @@ impl Lane {
             Lane::Prepare => 2,
             Lane::Server => 3,
             Lane::Fault => 4,
+            Lane::Lookahead => 5,
         }
     }
 }
@@ -261,10 +280,12 @@ impl TrainerTrace {
     pub fn absolute_start_s(&self, ev: &SpanEvent) -> Option<f64> {
         match ev.lane {
             Lane::Server => Some(ev.rel_start_s),
-            Lane::Prepare | Lane::Train | Lane::Fault => {
+            Lane::Prepare | Lane::Train | Lane::Fault | Lane::Lookahead => {
                 let a = self.anchors.iter().find(|a| a.step == ev.step)?;
                 Some(match ev.lane {
-                    Lane::Prepare | Lane::Fault => a.prep_start_s + ev.rel_start_s,
+                    Lane::Prepare | Lane::Fault | Lane::Lookahead => {
+                        a.prep_start_s + ev.rel_start_s
+                    }
                     _ => a.train_start_s + ev.rel_start_s,
                 })
             }
@@ -277,8 +298,8 @@ struct Inner {
     ring: VecDeque<SpanEvent>,
     capacity: usize,
     dropped: u64,
-    hist: [LatencyHistogram; 9],
-    sum_s: [f64; 9],
+    hist: [LatencyHistogram; Phase::COUNT],
+    sum_s: [f64; Phase::COUNT],
     anchors: Vec<StepAnchor>,
     series: Vec<StepPoint>,
 }
@@ -317,7 +338,7 @@ impl SpanRecorder {
                 capacity,
                 dropped: 0,
                 hist: Default::default(),
-                sum_s: [0.0; 9],
+                sum_s: [0.0; Phase::COUNT],
                 anchors: Vec::new(),
                 series: Vec::new(),
             }),
@@ -622,6 +643,33 @@ mod tests {
         // Fault spans anchor to the prepare window, like prepare spans.
         let ev = t.events.iter().find(|e| e.lane == Lane::Fault).unwrap();
         assert_eq!(t.absolute_start_s(ev), Some(1.001));
+    }
+
+    #[test]
+    fn planned_phase_is_out_of_band_but_reported() {
+        assert!(!Phase::ALL.contains(&Phase::Planned));
+        assert!(Phase::REPORTED.contains(&Phase::Planned));
+        assert_eq!(Phase::REPORTED[..8], Phase::ALL);
+        assert_eq!(Phase::Planned.index(), 9);
+        assert_eq!(Phase::Planned.name(), "planned");
+        assert_eq!(Lane::Lookahead.tid(), 5);
+        assert_eq!(Lane::Lookahead.name(), "lookahead");
+        assert_eq!(Phase::REPORTED.len(), Phase::COUNT);
+
+        let r = SpanRecorder::for_trainer(0, 0);
+        r.record(Lane::Lookahead, 4, Phase::Planned, 0.0, 0.02);
+        r.record_anchor(StepAnchor {
+            step: 4,
+            prep_start_s: 3.0,
+            train_start_s: 4.0,
+        });
+        let t = r.snapshot();
+        let p = t.phase(Phase::Planned).unwrap();
+        assert_eq!(p.count, 1);
+        assert!((p.sum_s - 0.02).abs() < 1e-15);
+        // Planned spans anchor to the prepare window, like prepare spans.
+        let ev = t.events.iter().find(|e| e.lane == Lane::Lookahead).unwrap();
+        assert_eq!(t.absolute_start_s(ev), Some(3.0));
     }
 
     #[test]

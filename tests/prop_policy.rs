@@ -1,0 +1,97 @@
+//! Prefetch-policy neutrality properties: the planner (DESIGN §10)
+//! changes *when* halo rows are fetched, never *what* the trainer
+//! computes on. Scoreboard and lookahead runs on the same seed must
+//! therefore produce identical per-epoch losses, accuracies, and final
+//! parameters — at any kernel-pool width, and under the `light` fault
+//! profile (whose drops/delays/truncations the retry ladder fully
+//! recovers, and whose failed rows the planner refuses to install).
+
+use massivegnn::{Engine, EngineConfig, FaultProfile, Mode, PrefetchConfig, RetryPolicy};
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn policy_config(seed: u64, fault: Option<FaultProfile>, pcfg: PrefetchConfig) -> EngineConfig {
+    EngineConfig {
+        seed,
+        // Two epochs so the planner crosses an epoch-plan boundary and
+        // the second epoch runs against a warm (planned) buffer.
+        epochs: 2,
+        batch_size: 64,
+        fanouts: vec![4, 4],
+        hidden_dim: 16,
+        train_math: true,
+        // Dropped replies are detected by wall-clock timeout; keep the
+        // retry wait short so `light`'s 2% drops cost milliseconds.
+        retry: RetryPolicy {
+            timeout: Duration::from_millis(50),
+            ..Default::default()
+        },
+        mode: Mode::Prefetch(pcfg),
+        fault,
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn lookahead_losses_match_scoreboard(
+        run_seed in 0u64..1000,
+        depth_sel in 0u32..3,
+        width_sel in 0u32..2,
+    ) {
+        let width = if width_sel == 1 { 4 } else { 1 };
+        let depth = 1usize << depth_sel; // 1, 2 or 4
+        let pcfg = PrefetchConfig {
+            f_h: 0.25,
+            delta: 4,
+            ..Default::default()
+        };
+        let scoreboard = rayon::pool::with_max_threads(width, || {
+            Engine::build(policy_config(run_seed, None, pcfg)).run()
+        });
+        let lookahead = rayon::pool::with_max_threads(width, || {
+            Engine::build(policy_config(
+                run_seed,
+                None,
+                pcfg.with_lookahead_policy(depth),
+            ))
+            .run()
+        });
+        prop_assert_eq!(&scoreboard.epoch_loss, &lookahead.epoch_loss);
+        prop_assert_eq!(&scoreboard.epoch_acc, &lookahead.epoch_acc);
+        prop_assert_eq!(&scoreboard.final_params, &lookahead.final_params);
+    }
+
+    #[test]
+    fn lookahead_losses_match_scoreboard_under_light_chaos(
+        run_seed in 0u64..1000,
+        fault_seed in 0u64..1000,
+        depth_sel in 0u32..3,
+    ) {
+        // Chaos replay is pinned to the sequential engine (stable
+        // per-server request indices). The planner pulls through the
+        // same faulted transport but skips installing failed rows, so
+        // every feature the trainer reads is still the server's truth
+        // and the training trajectory cannot diverge.
+        let depth = 1usize << depth_sel;
+        let pcfg = PrefetchConfig {
+            f_h: 0.25,
+            delta: 4,
+            ..Default::default()
+        };
+        let fault = Some(FaultProfile::light(fault_seed));
+        let scoreboard =
+            Engine::build(policy_config(run_seed, fault.clone(), pcfg)).run();
+        let lookahead = Engine::build(policy_config(
+            run_seed,
+            fault,
+            pcfg.with_lookahead_policy(depth),
+        ))
+        .run();
+        prop_assert_eq!(&scoreboard.epoch_loss, &lookahead.epoch_loss);
+        prop_assert_eq!(&scoreboard.epoch_acc, &lookahead.epoch_acc);
+        prop_assert_eq!(&scoreboard.final_params, &lookahead.final_params);
+    }
+}
