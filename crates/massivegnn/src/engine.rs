@@ -29,6 +29,7 @@ use mgnn_model::{
 use mgnn_net::clock::PipelineClock;
 use mgnn_net::metrics::MetricsSnapshot;
 use mgnn_net::{Backend, CommMetrics, CostModel, FaultProfile, RetryPolicy, SimClock, SimCluster};
+use mgnn_obs::registry;
 use mgnn_obs::{Lane, Phase, SpanRecorder, StepAnchor, StepPoint, TrainerTrace};
 use mgnn_partition::{
     build_local_partitions, multilevel_partition, split_train_nodes, LocalPartition,
@@ -134,6 +135,12 @@ pub struct EngineConfig {
     /// allocate-per-step behavior; reports are bitwise-identical either
     /// way.
     pub pooling: bool,
+    /// Mirror counters into the process-global live-telemetry registry
+    /// ([`mgnn_obs::registry`]) so a Prometheus scrape server can expose
+    /// them mid-run. Perturbs only wall-clock (a few atomic adds per
+    /// step), never the simulated clock: the [`RunReport`] is
+    /// bitwise-identical with telemetry on or off.
+    pub telemetry: bool,
 }
 
 impl Default for EngineConfig {
@@ -160,6 +167,7 @@ impl Default for EngineConfig {
             fault: None,
             retry: RetryPolicy::default(),
             pooling: true,
+            telemetry: false,
         }
     }
 }
@@ -602,6 +610,15 @@ impl TrainerState {
         );
         self.breakdown.train_s += t_train;
 
+        // Live telemetry: step counters and modeled per-lane latencies.
+        // Wall-clock only — nothing here feeds the simulated clock or the
+        // report.
+        if ctx.cfg.telemetry && registry::enabled() {
+            registry::STEPS.inc();
+            registry::STEP_LATENCY.record("prepare", batch.timing.t_prepare());
+            registry::STEP_LATENCY.record("train", t_train);
+        }
+
         // Real math, if enabled. Model math is workload, not trainer-loop
         // bookkeeping — its allocations are excluded from the hot count.
         let stats = self.model.as_mut().map(|model| {
@@ -805,10 +822,15 @@ impl Engine {
                 let recorder = cfg
                     .trace
                     .then(|| Arc::new(SpanRecorder::for_trainer(t as u32, *pid as u32)));
-                let metrics = Arc::new(match &recorder {
+                let mut metrics = match &recorder {
                     Some(r) => CommMetrics::with_recorder(Arc::clone(r)),
                     None => CommMetrics::new(),
-                });
+                };
+                // Trainer rank keys the deterministic request ids the
+                // prefetcher tags its pulls with; set unconditionally —
+                // it is a plain field, free when correlation is unused.
+                metrics.set_trace_rank(t as u64);
+                let metrics = Arc::new(metrics);
                 let loader = DataLoader::new(
                     seeds.clone(),
                     cfg.batch_size,
@@ -904,6 +926,13 @@ impl Engine {
     /// bitwise-identical. Setting `MGNN_THREADS` forces the threaded path
     /// (the determinism CI matrix relies on this).
     pub fn run(&self) -> RunReport {
+        // Arm the live-telemetry registry for this run. `enable` resets
+        // every metric, so scraped totals are attributable to the run
+        // that armed them; the registry stays enabled after the run so a
+        // final snapshot (`--metrics-out`) sees the totals.
+        if self.cfg.telemetry {
+            registry::enable();
+        }
         if self.cfg.parallel && real_parallelism_available() {
             self.run_parallel()
         } else {
@@ -1359,6 +1388,13 @@ impl Engine {
             final_params,
             traces,
         };
+        // Final telemetry gauges: run-level summaries a mid-run scrape
+        // can't derive from counters alone.
+        if cfg.telemetry && registry::enabled() {
+            registry::HIT_RATE.set(report.hit_rate());
+            registry::MAKESPAN.set(report.makespan_s);
+            registry::WORLD.set(report.world as f64);
+        }
         // Hand a copy to the global capture sink, if one is installed
         // (the repro binary's trace/JSON export path). One atomic load
         // when no sink exists.

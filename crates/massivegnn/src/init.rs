@@ -71,7 +71,9 @@ pub fn initialize_prefetcher(
 
     // Bulk fetch (line 18: RPC).
     let globals: Vec<u32> = order.iter().map(|&h| part.halo_nodes[h as usize]).collect();
-    let (fetched, outcome) = cluster.pull_grouped_checked(&globals);
+    let req_id =
+        mgnn_obs::events::request_id(mgnn_obs::events::ORIGIN_INIT, metrics.trace_rank(), 0);
+    let (fetched, outcome) = cluster.pull_grouped_tagged(&globals, req_id);
     // Fault charge is 0.0 on the fault-free path (see Prefetcher::prepare).
     let fetch_s = cost.t_rpc(capacity, dim) + outcome.charge_s(cost, dim, cluster.retry_policy());
     metrics.record_rpc(capacity as u64, dim);
@@ -82,6 +84,15 @@ pub fn initialize_prefetcher(
         // those nodes stay ordinary misses and are fetched the first
         // time the sampler needs them, so init stays infallible.
         metrics.record_degradation(0, outcome.failed_rows.len() as u64);
+        if mgnn_obs::events::enabled() {
+            mgnn_obs::events::push(mgnn_obs::events::TraceEvent {
+                request_id: req_id,
+                kind: "degraded_rows",
+                part: part.part_id,
+                attempt: 0,
+                value: outcome.failed_rows.len() as u64,
+            });
+        }
     }
     let row_failed = |r: usize| outcome.failed_rows.binary_search(&r).is_ok();
 

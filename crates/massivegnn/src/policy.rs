@@ -315,7 +315,12 @@ impl PrefetchPolicy for LookaheadPolicy {
         self.want_globals.clear();
         self.want_globals
             .extend(self.want.iter().map(|&(_, h)| halo_nodes[h as usize]));
-        let (rows, outcome) = ctx.cluster.pull_grouped_checked(&self.want_globals);
+        let req_id = mgnn_obs::events::request_id(
+            mgnn_obs::events::ORIGIN_PLANNED,
+            ctx.metrics.trace_rank(),
+            step,
+        );
+        let (rows, outcome) = ctx.cluster.pull_grouped_tagged(&self.want_globals, req_id);
         let dim = ctx.cluster.dim();
         let t_fault = outcome.charge_s(ctx.cost, dim, ctx.cluster.retry_policy());
         let t_planned = ctx.cost.t_rpc(k, dim) + t_fault;
@@ -323,7 +328,7 @@ impl PrefetchPolicy for LookaheadPolicy {
         ctx.metrics.record_pull_outcome(&outcome);
         ctx.metrics.planned_span(step, 0.0, t_planned);
         if t_fault > 0.0 {
-            ctx.metrics.fault_span(step, 0.0, t_fault);
+            ctx.metrics.fault_span_corr(step, 0.0, t_fault, req_id);
         }
 
         // Install the rows that survived the ladder. A failed row is

@@ -431,7 +431,15 @@ impl Prefetcher {
                 scratch.fetch_ids.push(halo_nodes[new_h as usize]);
             }
         }
-        let (fetched, outcome) = cluster.pull_grouped_checked(&scratch.fetch_ids);
+        // Deterministic request id: pure function of (origin, rank,
+        // step), so it is identical across the sequential and threaded
+        // engines and across pool widths.
+        let req_id = mgnn_obs::events::request_id(
+            mgnn_obs::events::ORIGIN_PREPARE,
+            metrics.trace_rank(),
+            step,
+        );
+        let (fetched, outcome) = cluster.pull_grouped_tagged(&scratch.fetch_ids, req_id);
         // Faults charge simulated time on top of the ideal RPC cost:
         // injected delays multiply the request's latency and every retry
         // re-pays it plus deterministic backoff (Eq. 6 still sees the
@@ -461,11 +469,18 @@ impl Prefetcher {
             t_evict,
         );
         let serial = t_planned + t_sampling + t_lookup + t_scoring + t_evict;
-        metrics.record_rpc_spanned(scratch.fetch_ids.len() as u64, dim, step, serial, t_rpc);
+        metrics.record_rpc_spanned_corr(
+            scratch.fetch_ids.len() as u64,
+            dim,
+            step,
+            serial,
+            t_rpc,
+            req_id,
+        );
         metrics.record_lookup(scratch.hits.len() as u64, scratch.misses.len() as u64);
         metrics.record_pull_outcome(&outcome);
         if t_fault > 0.0 {
-            metrics.fault_span(step, serial, t_fault);
+            metrics.fault_span_corr(step, serial, t_fault, req_id);
         }
 
         // Lines 16–17 + score swap (§IV-B): install replacements. A
@@ -507,6 +522,26 @@ impl Prefetcher {
             .count();
         if stale > 0 || degraded > 0 {
             metrics.record_degradation(stale as u64, degraded as u64);
+            if mgnn_obs::events::enabled() {
+                if stale > 0 {
+                    mgnn_obs::events::push(mgnn_obs::events::TraceEvent {
+                        request_id: req_id,
+                        kind: "stale_rows",
+                        part: part.part_id,
+                        attempt: 0,
+                        value: stale as u64,
+                    });
+                }
+                if degraded > 0 {
+                    mgnn_obs::events::push(mgnn_obs::events::TraceEvent {
+                        request_id: req_id,
+                        kind: "degraded_rows",
+                        part: part.part_id,
+                        attempt: 0,
+                        value: degraded as u64,
+                    });
+                }
+            }
         }
 
         // Assemble input features in input-node order: local rows from the
@@ -649,7 +684,12 @@ pub fn baseline_prepare_reuse(
             .iter()
             .map(|&lid| part.halo_nodes[(lid - num_local as u32) as usize]),
     );
-    let (fetched, outcome) = cluster.pull_grouped_checked(&scratch.fetch_ids);
+    let req_id = mgnn_obs::events::request_id(
+        mgnn_obs::events::ORIGIN_BASELINE,
+        metrics.trace_rank(),
+        step,
+    );
+    let (fetched, outcome) = cluster.pull_grouped_tagged(&scratch.fetch_ids, req_id);
     // Same fault-time charging as the prefetch path; exactly 0.0 when
     // nothing fired.
     let t_fault = outcome.charge_s(cost, dim, cluster.retry_policy());
@@ -661,15 +701,31 @@ pub fn baseline_prepare_reuse(
     metrics.span(step, Phase::Lookup, t_sampling, 0.0);
     metrics.span(step, Phase::Scoring, t_sampling, 0.0);
     metrics.span(step, Phase::Evict, t_sampling, 0.0);
-    metrics.record_rpc_spanned(scratch.fetch_ids.len() as u64, dim, step, t_sampling, t_rpc);
+    metrics.record_rpc_spanned_corr(
+        scratch.fetch_ids.len() as u64,
+        dim,
+        step,
+        t_sampling,
+        t_rpc,
+        req_id,
+    );
     metrics.record_pull_outcome(&outcome);
     if t_fault > 0.0 {
-        metrics.fault_span(step, t_sampling, t_fault);
+        metrics.fault_span_corr(step, t_sampling, t_fault, req_id);
     }
     // No buffer to fall back on: every failed row is a zero-filled input
     // row (the baseline skips degradation rung 2 entirely).
     if !outcome.failed_rows.is_empty() {
         metrics.record_degradation(0, outcome.failed_rows.len() as u64);
+        if mgnn_obs::events::enabled() {
+            mgnn_obs::events::push(mgnn_obs::events::TraceEvent {
+                request_id: req_id,
+                kind: "degraded_rows",
+                part: part.part_id,
+                attempt: 0,
+                value: outcome.failed_rows.len() as u64,
+            });
+        }
     }
 
     let local_store = cluster.store(part.part_id);

@@ -340,6 +340,38 @@ fn bench_end_to_end(seed: u64, iters: usize) -> Value {
     ])
 }
 
+/// Where this benchmark document came from. `report-diff` refuses to
+/// compare relative timings across documents whose host identity
+/// (hostname + core count) differs — wall-clock milliseconds from two
+/// different machines are not a regression signal.
+pub fn provenance() -> Value {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // Best-effort: a bench run outside a git checkout still produces a
+    // valid document, just with an unknown commit.
+    let git_commit = std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty());
+    let hostname = std::fs::read_to_string("/proc/sys/kernel/hostname")
+        .ok()
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .or_else(|| std::env::var("HOSTNAME").ok().filter(|s| !s.is_empty()))
+        .unwrap_or_else(|| "unknown".to_string());
+    Value::obj([
+        (
+            "git_commit",
+            git_commit.map_or(Value::Null, |c| c.to_value()),
+        ),
+        ("hostname", hostname.to_value()),
+        ("cores", (cores as u64).to_value()),
+    ])
+}
+
 /// Run the full kernel-benchmark suite and return the JSON document.
 pub fn run_all(seed: u64, iters: usize) -> Value {
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -371,6 +403,7 @@ pub fn run_all(seed: u64, iters: usize) -> Value {
     eprintln!("[bench: end-to-end done]");
     Value::obj([
         ("schema", "mgnn-bench/v1".to_value()),
+        ("provenance", provenance()),
         ("seed", seed.to_value()),
         ("cores", (cores as u64).to_value()),
         ("threads", (threads as u64).to_value()),
@@ -423,6 +456,9 @@ mod tests {
             "\"cores\"",
             "\"threads\"",
             "\"mgnn_threads\"",
+            "\"provenance\"",
+            "\"hostname\"",
+            "\"git_commit\"",
             "\"speedup\"",
             "\"allocs_per_step\"",
             "\"alloc_peak_bytes\"",

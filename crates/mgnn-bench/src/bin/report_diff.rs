@@ -1,0 +1,38 @@
+//! Compare two benchmark or repro JSON documents and fail on regression.
+//!
+//! ```bash
+//! report-diff BASELINE.json CANDIDATE.json
+//! ```
+//!
+//! Exit codes: 0 = no breach, 1 = a perf guard breached, 2 = the
+//! documents could not be read or compared (usage, parse, or schema
+//! errors). See [`mgnn_bench::diff`] for the comparison rules.
+
+use mgnn_bench::diff;
+use serde_json::from_str;
+
+fn die(msg: &str) -> ! {
+    eprintln!("report-diff: {msg}");
+    eprintln!("usage: report-diff BASELINE.json CANDIDATE.json");
+    std::process::exit(2)
+}
+
+fn load(path: &str) -> serde::Value {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+    from_str(&text).unwrap_or_else(|e| die(&format!("cannot parse {path}: {e:?}")))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [baseline, candidate] = args.as_slice() else {
+        die("expected exactly two arguments");
+    };
+    let base = load(baseline);
+    let cand = load(candidate);
+    let report = diff::diff_docs(&base, &cand).unwrap_or_else(|e| die(&e));
+    print!("{}", report.render());
+    if report.failed() {
+        std::process::exit(1);
+    }
+}

@@ -11,7 +11,16 @@
 //! `--json-out FILE` writes every engine run's full `RunReport` as JSON;
 //! `--trace-out DIR` additionally enables span tracing and writes one
 //! Chrome/Perfetto `*.trace.json` per run (open at <https://ui.perfetto.dev>)
-//! plus an `index.json` mapping files to experiments.
+//! plus an `index.json` mapping files to experiments and one
+//! `*-events.jsonl` per experiment with the request-correlated fault
+//! ladder (empty files are skipped).
+//!
+//! Live telemetry: `--telemetry-port N` serves Prometheus text
+//! exposition at `http://127.0.0.1:N/metrics` for the life of the
+//! process (port 0 picks an ephemeral port, printed on stderr);
+//! `--metrics-out FILE` writes one final exposition snapshot after all
+//! experiments, no server required. Both perturb only wall-clock — every
+//! report stays bitwise identical to a telemetry-off run.
 
 use massivegnn::PrefetchPolicyKind;
 use mgnn_bench::{bench, experiments, figures::chaos, Opts};
@@ -26,7 +35,8 @@ fn usage() -> ! {
          [--hidden N] [--full] [--seed N] [--trace-out DIR] [--json-out FILE] \
          [--bench-out FILE] [--bench-iters N] [--perf-guard] \
          [--policy scoreboard|lookahead] [--depth N] \
-         [--fault-profile <{}>] [--fault-seed N]",
+         [--fault-profile <{}>] [--fault-seed N] \
+         [--telemetry-port N] [--metrics-out FILE] [--telemetry-linger-ms N]",
         experiments::names().join("|"),
         FaultProfile::NAMES.join("|")
     );
@@ -42,6 +52,9 @@ fn main() {
     let mut bench_out: Option<PathBuf> = None;
     let mut bench_iters = 5usize;
     let mut perf_guard = false;
+    let mut telemetry_port: Option<u16> = None;
+    let mut metrics_out: Option<PathBuf> = None;
+    let mut telemetry_linger_ms = 0u64;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -152,6 +165,27 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage());
             }
+            "--telemetry-port" => {
+                i += 1;
+                telemetry_port = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--metrics-out" => {
+                i += 1;
+                metrics_out = Some(PathBuf::from(
+                    args.get(i).cloned().unwrap_or_else(|| usage()),
+                ));
+            }
+            "--telemetry-linger-ms" => {
+                i += 1;
+                telemetry_linger_ms = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
             "--perf-guard" => perf_guard = true,
             "--full" => opts.full = true,
             "--help" | "-h" => usage(),
@@ -223,10 +257,28 @@ fn main() {
     // Spans are only worth recording when there is somewhere to write
     // them; reports alone (--json-out) keep the no-op fast path.
     opts.trace = trace_out.is_some();
+    // Telemetry arms the registry inside every engine run; either flag
+    // implies it (a scrape server with nothing mirrored would read 0s).
+    opts.telemetry = telemetry_port.is_some() || metrics_out.is_some();
     let capture = trace_out.is_some() || json_out.is_some();
     if capture {
         mgnn_obs::sink::install();
     }
+    if trace_out.is_some() {
+        // Correlated fault-ladder events ride along with span traces.
+        mgnn_obs::events::install();
+    }
+    let scrape = telemetry_port.map(|port| {
+        let server = mgnn_obs::ScrapeServer::start(port).unwrap_or_else(|e| {
+            eprintln!("cannot bind scrape server on port {port}: {e}");
+            std::process::exit(1)
+        });
+        eprintln!(
+            "[telemetry: serving /metrics on http://{}]",
+            server.local_addr()
+        );
+        server
+    });
     if let Some(dir) = &trace_out {
         std::fs::create_dir_all(dir).unwrap_or_else(|e| {
             eprintln!("cannot create {}: {e}", dir.display());
@@ -249,6 +301,13 @@ fn main() {
             continue;
         }
         let captures = mgnn_obs::sink::drain();
+        if let Some(dir) = &trace_out {
+            let events = mgnn_obs::events::drain();
+            if !events.is_empty() {
+                let file = format!("{}-events.jsonl", exp.name);
+                write_or_die(&dir.join(file), &mgnn_obs::events::to_jsonl(&events));
+            }
+        }
         let mut run_values: Vec<Value> = Vec::new();
         for (seq, cap) in captures.iter().enumerate() {
             if let Some(dir) = &trace_out {
@@ -278,6 +337,22 @@ fn main() {
 
     if capture {
         mgnn_obs::sink::uninstall();
+    }
+    if trace_out.is_some() {
+        mgnn_obs::events::uninstall();
+    }
+    // Hold the scrape server open so an external scraper (CI smoke, a
+    // real Prometheus) can read the finished run's totals.
+    if telemetry_linger_ms > 0 && scrape.is_some() {
+        eprintln!("[telemetry: lingering {telemetry_linger_ms} ms for scrapes]");
+        std::thread::sleep(std::time::Duration::from_millis(telemetry_linger_ms));
+    }
+    if let Some(file) = &metrics_out {
+        write_or_die(file, &mgnn_obs::prom::render());
+        eprintln!("[metrics snapshot written to {}]", file.display());
+    }
+    if let Some(server) = scrape {
+        server.shutdown();
     }
     if let Some(dir) = &trace_out {
         let index = serde_json::to_string_pretty(&Value::obj([("traces", Value::Arr(index_rows))]));

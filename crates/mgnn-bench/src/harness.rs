@@ -44,6 +44,10 @@ pub struct Opts {
     /// measures exactly this policy against the scoreboard); the
     /// paper-figure experiments always use the paper's scoreboard.
     pub policy: PrefetchPolicyKind,
+    /// Mirror counters into the live-telemetry registry
+    /// (`--telemetry-port`/`--metrics-out`). Wall-clock only; reports
+    /// stay bitwise identical.
+    pub telemetry: bool,
 }
 
 impl Default for Opts {
@@ -60,6 +64,7 @@ impl Default for Opts {
             fault_profile: None,
             fault_seed: 0xFA01,
             policy: PrefetchPolicyKind::Scoreboard,
+            telemetry: false,
         }
     }
 }
@@ -145,6 +150,7 @@ pub fn engine_config(
         fault: opts.fault(),
         retry: RetryPolicy::default(),
         pooling: true,
+        telemetry: opts.telemetry,
     }
 }
 

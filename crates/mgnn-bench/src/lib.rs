@@ -26,6 +26,7 @@
 //! data movement. See EXPERIMENTS.md for paper-vs-measured notes.
 
 pub mod bench;
+pub mod diff;
 pub mod experiments;
 pub mod figures;
 pub mod harness;

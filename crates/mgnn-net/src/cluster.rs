@@ -38,6 +38,12 @@ struct ClusterFaults {
 /// single issuing thread — fully deterministic.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct PullOutcome {
+    /// Correlation id this pull was tagged with
+    /// ([`mgnn_obs::events::request_id`]); 0 means untagged. Tagged
+    /// pulls additionally emit [`mgnn_obs::events::TraceEvent`]s as they
+    /// walk the fault ladder, so every degraded row is attributable to
+    /// the verdict that caused it.
+    pub request_id: u64,
     /// Bulk RPCs issued in the first round (one per touched partition);
     /// retries are counted separately so the fault-free accounting is
     /// unchanged.
@@ -259,8 +265,19 @@ impl SimCluster {
     /// and retry up to `RetryPolicy::max_retries` times → zero-fill the
     /// partition's rows and report them in `PullOutcome::failed_rows`.
     pub fn pull_grouped_checked(&self, ids: &[NodeId]) -> (Vec<f32>, PullOutcome) {
+        self.pull_grouped_tagged(ids, 0)
+    }
+
+    /// [`pull_grouped_checked`](Self::pull_grouped_checked) tagged with a
+    /// request correlation id. When `request_id` is nonzero and the
+    /// global event log ([`mgnn_obs::events`]) is installed, every fault
+    /// verdict this pull hits is recorded against that id.
+    pub fn pull_grouped_tagged(&self, ids: &[NodeId], request_id: u64) -> (Vec<f32>, PullOutcome) {
         let p = self.num_parts();
-        let mut outcome = PullOutcome::default();
+        let mut outcome = PullOutcome {
+            request_id,
+            ..PullOutcome::default()
+        };
         let mut by_part: Vec<Vec<NodeId>> = vec![Vec::new(); p];
         let mut position: Vec<(usize, usize)> = Vec::with_capacity(ids.len()); // (part, idx within part list)
         for &g in ids {
@@ -294,7 +311,7 @@ impl SimCluster {
             };
             responses[part] = match first {
                 Ok(resp) => {
-                    self.note_delay(&resp, &by_part[part], &mut outcome);
+                    self.note_delay(&resp, &by_part[part], part, 0, &mut outcome);
                     Some(resp.payload)
                 }
                 Err(e) => self.recover_part(part, &by_part[part], e, generation, &mut outcome),
@@ -310,7 +327,28 @@ impl SimCluster {
                 None => outcome.failed_rows.push(row),
             }
         }
+        if outcome.degraded() {
+            for (part, list) in by_part.iter().enumerate() {
+                if !list.is_empty() && responses[part].is_none() {
+                    Self::emit(&outcome, "zero_fill", part, 0, list.len() as u64);
+                }
+            }
+        }
         (out, outcome)
+    }
+
+    /// Emit one fault-ladder event against a tagged pull. Free for
+    /// untagged pulls and one atomic load when the event log is off.
+    fn emit(outcome: &PullOutcome, kind: &'static str, part: usize, attempt: u32, value: u64) {
+        if outcome.request_id != 0 && mgnn_obs::events::enabled() {
+            mgnn_obs::events::push(mgnn_obs::events::TraceEvent {
+                request_id: outcome.request_id,
+                kind,
+                part: part as u32,
+                attempt,
+                value,
+            });
+        }
     }
 
     /// Wait for one reply, bounded by the retry policy's timeout when a
@@ -323,18 +361,36 @@ impl SimCluster {
         }
     }
 
-    fn note_delay(&self, resp: &PullResponse, list: &[NodeId], outcome: &mut PullOutcome) {
+    fn note_delay(
+        &self,
+        resp: &PullResponse,
+        list: &[NodeId],
+        part: usize,
+        attempt: u32,
+        outcome: &mut PullOutcome,
+    ) {
         if resp.delay_k > 0 {
             outcome.delay_events.push((list.len(), resp.delay_k));
+            Self::emit(outcome, "delay", part, attempt, u64::from(resp.delay_k));
         }
     }
 
-    fn note_failure(&self, err: &RpcError, outcome: &mut PullOutcome) {
-        match err {
-            RpcError::Timeout => outcome.timeouts += 1,
-            RpcError::Truncated { .. } => outcome.truncations += 1,
-            RpcError::ServerGone | RpcError::Kv(_) => outcome.disconnects += 1,
-        }
+    fn note_failure(&self, err: &RpcError, part: usize, attempt: u32, outcome: &mut PullOutcome) {
+        let kind = match err {
+            RpcError::Timeout => {
+                outcome.timeouts += 1;
+                "timeout"
+            }
+            RpcError::Truncated { .. } => {
+                outcome.truncations += 1;
+                "truncated"
+            }
+            RpcError::ServerGone | RpcError::Kv(_) => {
+                outcome.disconnects += 1;
+                "disconnect"
+            }
+        };
+        Self::emit(outcome, kind, part, attempt, 0);
     }
 
     /// Retry ladder for one partition after a failed first attempt.
@@ -352,12 +408,13 @@ impl SimCluster {
         let mut err = first_err;
         let mut generation = seen_generation;
         for attempt in 1..=self.retry.max_retries {
-            self.note_failure(&err, outcome);
+            self.note_failure(&err, part, attempt - 1, outcome);
             if matches!(err, RpcError::ServerGone) {
-                self.respawn(part, generation, outcome);
+                self.respawn(part, generation, attempt - 1, outcome);
             }
             outcome.retries += 1;
             outcome.retry_events.push((list.len(), attempt));
+            Self::emit(outcome, "retry", part, attempt, list.len() as u64);
             let (client, gen_now) = {
                 let g = self.remotes[part].lock().unwrap();
                 (g.client.clone(), g.generation)
@@ -368,15 +425,15 @@ impl SimCluster {
                 .and_then(|h| self.wait_on(h));
             match result {
                 Ok(resp) => {
-                    self.note_delay(&resp, list, outcome);
+                    self.note_delay(&resp, list, part, attempt, outcome);
                     return Some(resp.payload);
                 }
                 Err(e) => err = e,
             }
         }
-        self.note_failure(&err, outcome);
+        self.note_failure(&err, part, self.retry.max_retries, outcome);
         if matches!(err, RpcError::ServerGone) {
-            self.respawn(part, generation, outcome);
+            self.respawn(part, generation, self.retry.max_retries, outcome);
         }
         None
     }
@@ -385,11 +442,12 @@ impl SimCluster {
     /// caller already did (the generation moved past what the failed
     /// attempt used). A respawned server's plan has its crash budget
     /// spent — a partition crashes at most once per incarnation chain.
-    fn respawn(&self, part: usize, seen_generation: u64, outcome: &mut PullOutcome) {
+    fn respawn(&self, part: usize, seen_generation: u64, attempt: u32, outcome: &mut PullOutcome) {
         let mut g = self.remotes[part].lock().unwrap();
         if g.generation != seen_generation {
             return;
         }
+        Self::emit(outcome, "respawn", part, attempt, 0);
         let plan = self
             .faults
             .as_ref()
@@ -569,6 +627,45 @@ mod tests {
         let want = 4.0 * 6.0 * cost.t_rpc(1, 8);
         let got = outcome.charge_s(&cost, 8, c.retry_policy());
         assert!((got - want).abs() < 1e-12, "{got} vs {want}");
+    }
+
+    // The event log is process-global, so this must stay the only test
+    // in this binary that installs it (see mgnn_obs::sink for the
+    // pattern).
+    #[test]
+    fn tagged_pulls_emit_correlated_events_untagged_pulls_do_not() {
+        use mgnn_obs::events;
+        let (f, a) = fixture();
+        let profile = FaultProfile {
+            drop_prob: 1.0,
+            ..FaultProfile::off(9)
+        };
+        let c = SimCluster::with_faults(&f, &a, 4, Some(profile), retry_with_timeout(10));
+        let req = events::request_id(events::ORIGIN_PREPARE, 1, 42);
+        events::install();
+        // Untagged: full fault ladder, zero events.
+        let (_, untagged) = c.pull_grouped_checked(&[4u32, 5, 6, 7]);
+        assert!(untagged.degraded());
+        assert_eq!(untagged.request_id, 0);
+        assert!(events::drain().is_empty(), "untagged pulls must be silent");
+        // Tagged: every ladder rung lands in the log under one id.
+        let (_, tagged) = c.pull_grouped_tagged(&[4u32, 5, 6, 7], req);
+        let got = events::uninstall();
+        assert_eq!(tagged.request_id, req);
+        assert!(got.iter().all(|e| e.request_id == req));
+        let count_kind = |k: &str| got.iter().filter(|e| e.kind == k).count();
+        assert_eq!(count_kind("timeout") as u64, tagged.timeouts);
+        assert_eq!(count_kind("retry") as u64, tagged.retries);
+        assert_eq!(count_kind("zero_fill"), 4, "one per starved partition");
+        let zero_rows: u64 = got
+            .iter()
+            .filter(|e| e.kind == "zero_fill")
+            .map(|e| e.value)
+            .sum();
+        assert_eq!(zero_rows as usize, tagged.failed_rows.len());
+        // With the log uninstalled, tagged pulls cost one atomic load.
+        let (_, after) = c.pull_grouped_tagged(&[4u32], req);
+        assert_eq!(after.request_id, req);
     }
 
     #[test]

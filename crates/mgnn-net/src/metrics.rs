@@ -3,7 +3,15 @@
 //! All counters are atomics so the prepare thread and the trainer thread
 //! can update them concurrently (the paper's Fig. 11 "remote nodes fetched"
 //! and §V-B5 communication-time analysis come straight from these).
+//!
+//! When the live telemetry registry ([`mgnn_obs::registry`]) is enabled,
+//! every `record_*` method mirrors its increments into the corresponding
+//! global counter — the hook lives *inside* the method that updates the
+//! per-trainer atomic, so registry totals reconcile exactly with the
+//! summed [`MetricsSnapshot`]s by construction. Disabled, each hook is
+//! one relaxed atomic load.
 
+use mgnn_obs::registry;
 use mgnn_obs::{Lane, Phase, SpanRecorder};
 use serde::{Serialize, Value};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -21,6 +29,10 @@ use std::sync::Arc;
 pub struct CommMetrics {
     /// Span recorder for this trainer, when tracing is enabled.
     recorder: Option<Arc<SpanRecorder>>,
+    /// Trainer rank used to derive deterministic request ids
+    /// ([`mgnn_obs::events::request_id`]). Plain data set once at build
+    /// time, before the metrics are shared.
+    trace_rank: u64,
     /// Bulk RPC requests issued.
     pub rpc_calls: AtomicU64,
     /// Remote node feature rows fetched over RPC (the paper's Fig. 11 Y).
@@ -84,6 +96,17 @@ impl CommMetrics {
         self.recorder.as_ref()
     }
 
+    /// Set the trainer rank request ids derive from. Called once at
+    /// engine build, before the metrics are wrapped in an `Arc`.
+    pub fn set_trace_rank(&mut self, rank: u64) {
+        self.trace_rank = rank;
+    }
+
+    /// Trainer rank for request-id derivation (0 if never set).
+    pub fn trace_rank(&self) -> u64 {
+        self.trace_rank
+    }
+
     /// Record a span for `phase` of `step` on the prepare lane, if a
     /// recorder is attached. `rel_start_s` is relative to the step's
     /// prepare-window start.
@@ -103,11 +126,19 @@ impl CommMetrics {
             .fetch_add(nodes, Ordering::Relaxed);
         self.remote_bytes
             .fetch_add(nodes * dim as u64 * 4, Ordering::Relaxed);
+        if registry::enabled() {
+            registry::RPC_CALLS.inc();
+            registry::REMOTE_NODES.add(nodes);
+            registry::REMOTE_BYTES.add(nodes * dim as u64 * 4);
+        }
     }
 
     /// Record gathering `nodes` local rows.
     pub fn record_local_copy(&self, nodes: u64) {
         self.local_nodes_copied.fetch_add(nodes, Ordering::Relaxed);
+        if registry::enabled() {
+            registry::LOCAL_NODES.add(nodes);
+        }
     }
 
     /// [`record_rpc`](Self::record_rpc) plus an `rpc` span for `step`.
@@ -122,7 +153,24 @@ impl CommMetrics {
         rel_start_s: f64,
         dur_s: f64,
     ) {
-        self.span(step, Phase::Rpc, rel_start_s, dur_s);
+        self.record_rpc_spanned_corr(nodes, dim, step, rel_start_s, dur_s, 0);
+    }
+
+    /// [`record_rpc_spanned`](Self::record_rpc_spanned) with a
+    /// request-correlation id on the span (0 = none), tying the `rpc`
+    /// slice to its tagged pull in Perfetto flow renderings.
+    pub fn record_rpc_spanned_corr(
+        &self,
+        nodes: u64,
+        dim: usize,
+        step: u64,
+        rel_start_s: f64,
+        dur_s: f64,
+        corr: u64,
+    ) {
+        if let Some(r) = &self.recorder {
+            r.record_corr(Lane::Prepare, step, Phase::Rpc, rel_start_s, dur_s, corr);
+        }
         self.record_rpc(nodes, dim);
     }
 
@@ -138,6 +186,10 @@ impl CommMetrics {
     pub fn record_lookup(&self, hits: u64, misses: u64) {
         self.buffer_hits.fetch_add(hits, Ordering::Relaxed);
         self.buffer_misses.fetch_add(misses, Ordering::Relaxed);
+        if registry::enabled() {
+            registry::PREFETCH_HITS.add(hits);
+            registry::PREFETCH_MISSES.add(misses);
+        }
     }
 
     /// Record an eviction round.
@@ -145,6 +197,10 @@ impl CommMetrics {
         self.evictions.fetch_add(evicted, Ordering::Relaxed);
         self.replacements_fetched
             .fetch_add(replaced, Ordering::Relaxed);
+        if registry::enabled() {
+            registry::EVICTIONS.add(evicted);
+            registry::REPLACEMENTS.add(replaced);
+        }
     }
 
     /// Fold one grouped pull's fault accounting into the counters.
@@ -164,6 +220,14 @@ impl CommMetrics {
             .fetch_add(o.delay_events.len() as u64, Ordering::Relaxed);
         self.server_respawns
             .fetch_add(o.respawns, Ordering::Relaxed);
+        if registry::enabled() {
+            registry::RPC_RETRIES.add(o.retries);
+            registry::RPC_TIMEOUTS.add(o.timeouts);
+            registry::RPC_TRUNCATIONS.add(o.truncations);
+            registry::RPC_DISCONNECTS.add(o.disconnects);
+            registry::RPC_DELAYS.add(o.delay_events.len() as u64);
+            registry::SERVER_RESPAWNS.add(o.respawns);
+        }
     }
 
     /// Record graceful-degradation events: `stale` cancelled eviction
@@ -172,13 +236,24 @@ impl CommMetrics {
     pub fn record_degradation(&self, stale: u64, zero_filled: u64) {
         self.stale_served.fetch_add(stale, Ordering::Relaxed);
         self.degraded_rows.fetch_add(zero_filled, Ordering::Relaxed);
+        if registry::enabled() {
+            registry::STALE_SERVED.add(stale);
+            registry::DEGRADED_ROWS.add(zero_filled);
+        }
     }
 
     /// Record a fault-lane span covering the simulated time `step` lost
     /// to faults (injected delays + retry/backoff charges).
     pub fn fault_span(&self, step: u64, rel_start_s: f64, dur_s: f64) {
+        self.fault_span_corr(step, rel_start_s, dur_s, 0);
+    }
+
+    /// [`fault_span`](Self::fault_span) tagged with a request correlation
+    /// id, so the Perfetto export can draw a flow arrow from the pull's
+    /// RPC span to the fault time it induced.
+    pub fn fault_span_corr(&self, step: u64, rel_start_s: f64, dur_s: f64, corr: u64) {
         if let Some(r) = &self.recorder {
-            r.record(Lane::Fault, step, Phase::Fault, rel_start_s, dur_s);
+            r.record_corr(Lane::Fault, step, Phase::Fault, rel_start_s, dur_s, corr);
         }
     }
 
@@ -193,6 +268,10 @@ impl CommMetrics {
         }
         self.planned_pulls.fetch_add(1, Ordering::Relaxed);
         self.planned_rows.fetch_add(nodes, Ordering::Relaxed);
+        if registry::enabled() {
+            registry::PLANNED_PULLS.inc();
+            registry::PLANNED_ROWS.add(nodes);
+        }
         self.record_rpc(nodes, dim);
     }
 
@@ -505,6 +584,7 @@ mod tests {
         );
         assert!(!m.snapshot().had_faults());
         let chaotic = PullOutcome {
+            request_id: 0,
             rpcs: 2,
             retries: 3,
             timeouts: 2,

@@ -14,13 +14,33 @@
 //! summaries and the per-step telemetry series — so it stays small even
 //! for long runs.
 
-use crate::span::{SpanEvent, TrainerTrace};
+use crate::span::{Lane, SpanEvent, TrainerTrace};
 use serde::{Serialize, Value};
 
 /// Microseconds per second (trace-event timestamps are µs).
 const US: f64 = 1.0e6;
 
+/// Display label of a lane's Perfetto track. The out-of-band lanes
+/// (fault injection, lookahead planning) carry spans only on the steps
+/// where something fired, so they are labeled explicitly — an unlabeled
+/// sparse track reads as mysterious gaps in the main timeline.
+pub fn track_label(lane: Lane) -> &'static str {
+    match lane {
+        Lane::Fault => "fault injection (out-of-band)",
+        Lane::Lookahead => "lookahead planner (out-of-band)",
+        _ => lane.name(),
+    }
+}
+
 fn event_row(trace: &TrainerTrace, ev: &SpanEvent, start_s: f64) -> Value {
+    let args = if ev.corr != 0 {
+        Value::obj([
+            ("step", Value::U64(ev.step)),
+            ("request_id", Value::U64(ev.corr)),
+        ])
+    } else {
+        Value::obj([("step", Value::U64(ev.step))])
+    };
     Value::obj([
         ("name", Value::Str(ev.phase.name().into())),
         ("ph", Value::Str("X".into())),
@@ -29,8 +49,27 @@ fn event_row(trace: &TrainerTrace, ev: &SpanEvent, start_s: f64) -> Value {
         ("ts", Value::F64(start_s * US)),
         ("dur", Value::F64(ev.dur_s * US)),
         ("cat", Value::Str(ev.lane.name().into())),
-        ("args", Value::obj([("step", Value::U64(ev.step))])),
+        ("args", args),
     ])
+}
+
+/// One flow-event row (`ph` ∈ {"s", "t", "f"}) at `start_s`, tying the
+/// spans that share a request id into a visible arrow chain.
+fn flow_row(ph: &str, corr: u64, trace: &TrainerTrace, ev: &SpanEvent, start_s: f64) -> Value {
+    let mut fields = vec![
+        ("name".to_string(), Value::Str("request".into())),
+        ("cat".to_string(), Value::Str("request".into())),
+        ("ph".to_string(), Value::Str(ph.into())),
+        ("id".to_string(), Value::U64(corr)),
+        ("pid".to_string(), Value::U64(trace.trainer as u64)),
+        ("tid".to_string(), Value::U64(ev.lane.tid() as u64)),
+        ("ts".to_string(), Value::F64(start_s * US)),
+    ];
+    if ph == "f" {
+        // Bind the finish to the enclosing slice's end.
+        fields.push(("bp".to_string(), Value::Str("e".into())));
+    }
+    Value::Obj(fields)
 }
 
 fn metadata_row(name: &str, pid: u64, tid: Option<u64>, label: &str) -> Value {
@@ -69,7 +108,7 @@ pub fn perfetto_trace(traces: &[TrainerTrace]) -> Value {
                 "thread_name",
                 pid,
                 Some(lane.tid() as u64),
-                lane.name(),
+                track_label(lane),
             ));
         }
         // Resolve each span onto the absolute timeline, then sort for a
@@ -90,6 +129,42 @@ pub fn perfetto_trace(traces: &[TrainerTrace]) -> Value {
         });
         for (_, _, start_s, _, ev) in &resolved {
             rows.push(event_row(trace, ev, *start_s));
+        }
+        // Flow events: chain every group of ≥2 spans sharing a request
+        // id ("s" at the first, "t" through the middle, "f" at the
+        // last), so the rpc → fault hand-off of one tagged pull renders
+        // as arrows in Perfetto. Groups sort by id for a stable file.
+        let mut corrs: Vec<u64> = resolved
+            .iter()
+            .map(|(_, _, _, _, ev)| ev.corr)
+            .filter(|&c| c != 0)
+            .collect();
+        corrs.sort_unstable();
+        corrs.dedup();
+        for corr in corrs {
+            let mut group: Vec<(f64, &SpanEvent)> = resolved
+                .iter()
+                .filter(|(_, _, _, _, ev)| ev.corr == corr)
+                .map(|(_, _, start_s, _, ev)| (*start_s, ev))
+                .collect();
+            if group.len() < 2 {
+                continue;
+            }
+            group.sort_by(|a, b| {
+                a.0.total_cmp(&b.0)
+                    .then(a.1.lane.tid().cmp(&b.1.lane.tid()))
+            });
+            let last = group.len() - 1;
+            for (i, (start_s, ev)) in group.iter().enumerate() {
+                let ph = if i == 0 {
+                    "s"
+                } else if i == last {
+                    "f"
+                } else {
+                    "t"
+                };
+                rows.push(flow_row(ph, corr, trace, ev, *start_s));
+            }
         }
     }
     Value::obj([
@@ -162,6 +237,103 @@ mod tests {
         let s = perfetto_trace_string(&[sample_trace()]);
         let v = serde_json::from_str(&s).unwrap();
         assert!(v.get("traceEvents").unwrap().as_array().is_some());
+    }
+
+    #[test]
+    fn out_of_band_lanes_get_distinct_track_names() {
+        // The label contract, pinned directly…
+        assert_eq!(track_label(Lane::Fault), "fault injection (out-of-band)");
+        assert_eq!(
+            track_label(Lane::Lookahead),
+            "lookahead planner (out-of-band)"
+        );
+        assert_eq!(track_label(Lane::Prepare), "prepare");
+        assert_eq!(track_label(Lane::Train), "train");
+        assert_eq!(track_label(Lane::Server), "server");
+
+        // …and through the rendered metadata rows.
+        let r = SpanRecorder::for_trainer(0, 0);
+        r.record(Lane::Prepare, 0, Phase::Rpc, 0.0, 1.0e-3);
+        r.record(Lane::Fault, 0, Phase::Fault, 1.0e-3, 2.0e-3);
+        r.record(Lane::Lookahead, 0, Phase::Planned, 0.0, 5.0e-4);
+        r.record_anchor(StepAnchor {
+            step: 0,
+            prep_start_s: 0.0,
+            train_start_s: 4.0e-3,
+        });
+        let v = perfetto_trace(&[r.snapshot()]);
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        let thread_label = |tid: u64| -> Option<&str> {
+            events.iter().find_map(|e| {
+                let is_thread_meta = e.get("ph").and_then(Value::as_str) == Some("M")
+                    && e.get("name").and_then(Value::as_str) == Some("thread_name")
+                    && e.get("tid").and_then(Value::as_u64) == Some(tid);
+                if !is_thread_meta {
+                    return None;
+                }
+                e.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Value::as_str)
+            })
+        };
+        assert_eq!(
+            thread_label(Lane::Fault.tid() as u64),
+            Some("fault injection (out-of-band)")
+        );
+        assert_eq!(
+            thread_label(Lane::Lookahead.tid() as u64),
+            Some("lookahead planner (out-of-band)")
+        );
+        assert_eq!(thread_label(Lane::Prepare.tid() as u64), Some("prepare"));
+    }
+
+    #[test]
+    fn correlated_spans_emit_flow_events() {
+        let r = SpanRecorder::for_trainer(1, 0);
+        // One tagged pull: its rpc span and its fault span share an id.
+        r.record_corr(Lane::Prepare, 0, Phase::Rpc, 1.0e-3, 3.0e-3, 77);
+        r.record_corr(Lane::Fault, 0, Phase::Fault, 4.0e-3, 2.0e-3, 77);
+        // A lone correlated span must NOT produce a dangling flow.
+        r.record_corr(Lane::Prepare, 0, Phase::Copy, 6.0e-3, 1.0e-3, 99);
+        r.record(Lane::Prepare, 0, Phase::Sampling, 0.0, 1.0e-3);
+        r.record_anchor(StepAnchor {
+            step: 0,
+            prep_start_s: 0.0,
+            train_start_s: 8.0e-3,
+        });
+        let v = perfetto_trace(&[r.snapshot()]);
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        let flows: Vec<_> = events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.get("ph").unwrap().as_str(),
+                    Some("s") | Some("t") | Some("f")
+                )
+            })
+            .collect();
+        assert_eq!(flows.len(), 2, "one start + one finish for the pair");
+        assert!(flows
+            .iter()
+            .all(|f| f.get("id").unwrap().as_u64() == Some(77)));
+        assert_eq!(flows[0].get("ph").unwrap().as_str(), Some("s"));
+        assert_eq!(flows[1].get("ph").unwrap().as_str(), Some("f"));
+        assert_eq!(flows[1].get("bp").unwrap().as_str(), Some("e"));
+        // The correlated X rows carry the id in args for inspection.
+        let rpc = events
+            .iter()
+            .find(|e| e.get("name").unwrap().as_str() == Some("rpc"))
+            .unwrap();
+        assert_eq!(
+            rpc.get("args").unwrap().get("request_id").unwrap().as_u64(),
+            Some(77)
+        );
+        // Uncorrelated rows don't.
+        let sampling = events
+            .iter()
+            .find(|e| e.get("name").unwrap().as_str() == Some("sampling"))
+            .unwrap();
+        assert!(sampling.get("args").unwrap().get("request_id").is_none());
     }
 
     #[test]

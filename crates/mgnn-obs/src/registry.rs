@@ -1,0 +1,434 @@
+//! Live metric registry: process-global counters, gauges, and labeled
+//! log₂ histograms.
+//!
+//! The span layer ([`crate::span`]) answers *post-hoc* questions — it
+//! buffers everything and exports after the run. The registry answers
+//! *live* ones: every metric is a static with interior mutability, so a
+//! scrape thread ([`crate::prom`]) can render a consistent snapshot at
+//! any instant while trainer threads keep recording. Recording is
+//! lock-free for counters and gauges (one relaxed atomic op) and a
+//! short uncontended mutex for histograms.
+//!
+//! Lifecycle mirrors [`crate::sink`]: the registry is disabled by
+//! default and every producer gates on [`enabled`] (one atomic load),
+//! so a build that never calls [`enable`] pays nothing. [`enable`]
+//! resets all metrics first, making the registry's totals attributable
+//! to the run that enabled it — the reconciliation tests compare them
+//! against the engine's own `CommMetrics` totals for exactness.
+//!
+//! Determinism contract: nothing in this module is read by the engine.
+//! Metrics flow one way (engine → registry), so enabling telemetry can
+//! never perturb the simulated clock or a `RunReport`.
+
+use crate::hist::LatencyHistogram;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A monotonically increasing counter (Prometheus `counter`).
+pub struct Counter {
+    name: &'static str,
+    help: &'static str,
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A new zeroed counter. `const` so counters can be statics.
+    pub const fn new(name: &'static str, help: &'static str) -> Self {
+        Counter {
+            name,
+            help,
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Add `n` (no-op for 0 — keeps fault-free runs free of even the
+    /// relaxed RMW).
+    pub fn add(&self, n: u64) {
+        if n != 0 {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Add 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Metric name as exposed to Prometheus.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// One-line help string.
+    pub fn help(&self) -> &'static str {
+        self.help
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-write-wins f64 gauge (stored as bits in an `AtomicU64`).
+pub struct Gauge {
+    name: &'static str,
+    help: &'static str,
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// A new gauge at 0.0 (`f64` zero is all-zero bits).
+    pub const fn new(name: &'static str, help: &'static str) -> Self {
+        Gauge {
+            name,
+            help,
+            bits: AtomicU64::new(0),
+        }
+    }
+
+    /// Set the gauge.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    /// Metric name as exposed to Prometheus.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// One-line help string.
+    pub fn help(&self) -> &'static str {
+        self.help
+    }
+
+    fn reset(&self) {
+        self.bits.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A log₂-bucketed duration histogram ([`LatencyHistogram`]) per label
+/// value, under one static label key. Label values are `&'static str`
+/// so recording never allocates once a series exists; series are kept
+/// sorted by label so scrapes render deterministically.
+pub struct LabeledHistogram {
+    name: &'static str,
+    help: &'static str,
+    label_key: &'static str,
+    series: Mutex<Vec<(&'static str, LatencyHistogram)>>,
+}
+
+impl LabeledHistogram {
+    /// A new empty histogram family.
+    pub const fn new(name: &'static str, help: &'static str, label_key: &'static str) -> Self {
+        LabeledHistogram {
+            name,
+            help,
+            label_key,
+            series: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Record one duration (seconds) under `label`.
+    pub fn record(&self, label: &'static str, dur_s: f64) {
+        let mut series = self.series.lock().unwrap();
+        match series.iter_mut().find(|(l, _)| *l == label) {
+            Some((_, h)) => h.record(dur_s),
+            None => {
+                let mut h = LatencyHistogram::new();
+                h.record(dur_s);
+                series.push((label, h));
+                series.sort_by_key(|(l, _)| *l);
+            }
+        }
+    }
+
+    /// Snapshot of every `(label, histogram)` series.
+    pub fn series(&self) -> Vec<(&'static str, LatencyHistogram)> {
+        self.series.lock().unwrap().clone()
+    }
+
+    /// Metric name as exposed to Prometheus.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// One-line help string.
+    pub fn help(&self) -> &'static str {
+        self.help
+    }
+
+    /// The label key every series is keyed under.
+    pub fn label_key(&self) -> &'static str {
+        self.label_key
+    }
+
+    fn reset(&self) {
+        self.series.lock().unwrap().clear();
+    }
+}
+
+// ---------------------------------------------------------------------
+// The metric set. The first 18 counters mirror `CommMetrics` field for
+// field — the hooks live inside the corresponding `CommMetrics` methods,
+// so registry totals reconcile exactly with the summed per-trainer
+// snapshots (asserted by the integration tests).
+// ---------------------------------------------------------------------
+
+/// RPC pulls issued (`CommMetrics::rpc_calls`).
+pub static RPC_CALLS: Counter = Counter::new("mgnn_rpc_calls_total", "RPC pull calls issued");
+/// Remote feature rows fetched (`CommMetrics::remote_nodes_fetched`).
+pub static REMOTE_NODES: Counter = Counter::new(
+    "mgnn_remote_nodes_fetched_total",
+    "Remote feature rows fetched over RPC",
+);
+/// Remote bytes moved (`CommMetrics::remote_bytes`).
+pub static REMOTE_BYTES: Counter =
+    Counter::new("mgnn_remote_bytes_total", "Remote feature bytes fetched");
+/// Local feature rows copied (`CommMetrics::local_nodes_copied`).
+pub static LOCAL_NODES: Counter = Counter::new(
+    "mgnn_local_nodes_copied_total",
+    "Feature rows copied from the local partition",
+);
+/// Prefetch-buffer hits (`CommMetrics::buffer_hits`).
+pub static PREFETCH_HITS: Counter =
+    Counter::new("mgnn_prefetch_hits_total", "Prefetch buffer lookup hits");
+/// Prefetch-buffer misses (`CommMetrics::buffer_misses`).
+pub static PREFETCH_MISSES: Counter = Counter::new(
+    "mgnn_prefetch_misses_total",
+    "Prefetch buffer lookup misses",
+);
+/// Buffer evictions (`CommMetrics::evictions`).
+pub static EVICTIONS: Counter =
+    Counter::new("mgnn_evictions_total", "Prefetch buffer rows evicted");
+/// Replacement rows fetched (`CommMetrics::replacements_fetched`).
+pub static REPLACEMENTS: Counter = Counter::new(
+    "mgnn_replacements_fetched_total",
+    "Replacement rows fetched after eviction",
+);
+/// RPC retries (`CommMetrics::rpc_retries`).
+pub static RPC_RETRIES: Counter =
+    Counter::new("mgnn_rpc_retries_total", "RPC pulls retried after a fault");
+/// RPC timeouts (`CommMetrics::rpc_timeouts`).
+pub static RPC_TIMEOUTS: Counter =
+    Counter::new("mgnn_rpc_timeouts_total", "RPC pulls that timed out");
+/// Truncated replies (`CommMetrics::rpc_truncations`).
+pub static RPC_TRUNCATIONS: Counter = Counter::new(
+    "mgnn_rpc_truncations_total",
+    "RPC replies truncated by fault injection",
+);
+/// Server disconnects (`CommMetrics::rpc_disconnects`).
+pub static RPC_DISCONNECTS: Counter = Counter::new(
+    "mgnn_rpc_disconnects_total",
+    "RPC failures from crashed or dropped servers",
+);
+/// Injected delay events (`CommMetrics::rpc_delays`).
+pub static RPC_DELAYS: Counter = Counter::new("mgnn_rpc_delays_total", "Injected RPC delay events");
+/// Server respawns (`CommMetrics::server_respawns`).
+pub static SERVER_RESPAWNS: Counter = Counter::new(
+    "mgnn_server_respawns_total",
+    "Crashed feature servers respawned",
+);
+/// Stale rows served (`CommMetrics::stale_served`).
+pub static STALE_SERVED: Counter = Counter::new(
+    "mgnn_stale_served_total",
+    "Stale buffer rows served when a replacement pull failed",
+);
+/// Zero-filled degraded rows (`CommMetrics::degraded_rows`).
+pub static DEGRADED_ROWS: Counter = Counter::new(
+    "mgnn_degraded_rows_total",
+    "Input rows zero-filled after the degradation ladder was exhausted",
+);
+/// Lookahead planned pulls (`CommMetrics::planned_pulls`).
+pub static PLANNED_PULLS: Counter = Counter::new(
+    "mgnn_planned_pulls_total",
+    "Lookahead-planned pulls issued off the critical path",
+);
+/// Lookahead planned rows (`CommMetrics::planned_rows`).
+pub static PLANNED_ROWS: Counter = Counter::new(
+    "mgnn_planned_rows_total",
+    "Feature rows fetched by lookahead-planned pulls",
+);
+/// Training steps completed (engine-side; not a `CommMetrics` field).
+pub static STEPS: Counter = Counter::new("mgnn_steps_total", "Training steps completed");
+
+/// Cumulative prefetch-buffer hit rate of the latest finished run.
+pub static HIT_RATE: Gauge = Gauge::new(
+    "mgnn_buffer_hit_rate",
+    "Cumulative prefetch buffer hit rate of the last finished run",
+);
+/// Simulated makespan of the latest finished run.
+pub static MAKESPAN: Gauge = Gauge::new(
+    "mgnn_sim_makespan_seconds",
+    "Simulated makespan of the last finished run (slowest trainer)",
+);
+/// World size of the latest run.
+pub static WORLD: Gauge = Gauge::new(
+    "mgnn_world_trainers",
+    "Total trainers in the last started run",
+);
+
+/// Per-step latency, labeled by pipeline lane (`prepare`/`train`).
+/// Durations are *simulated* seconds — the registry observes the cost
+/// model, it never feeds back into it.
+pub static STEP_LATENCY: LabeledHistogram = LabeledHistogram::new(
+    "mgnn_step_latency",
+    "Simulated per-step latency by pipeline lane",
+    "lane",
+);
+
+/// Every counter, in render order.
+pub static COUNTERS: [&Counter; 19] = [
+    &RPC_CALLS,
+    &REMOTE_NODES,
+    &REMOTE_BYTES,
+    &LOCAL_NODES,
+    &PREFETCH_HITS,
+    &PREFETCH_MISSES,
+    &EVICTIONS,
+    &REPLACEMENTS,
+    &RPC_RETRIES,
+    &RPC_TIMEOUTS,
+    &RPC_TRUNCATIONS,
+    &RPC_DISCONNECTS,
+    &RPC_DELAYS,
+    &SERVER_RESPAWNS,
+    &STALE_SERVED,
+    &DEGRADED_ROWS,
+    &PLANNED_PULLS,
+    &PLANNED_ROWS,
+    &STEPS,
+];
+
+/// Every gauge, in render order.
+pub static GAUGES: [&Gauge; 3] = [&HIT_RATE, &MAKESPAN, &WORLD];
+
+/// Every histogram family, in render order.
+pub static HISTOGRAMS: [&LabeledHistogram; 1] = [&STEP_LATENCY];
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Enable the registry, resetting every metric first so totals are
+/// attributable to the run that enabled it. Producers start recording
+/// on their next [`enabled`] check.
+pub fn enable() {
+    reset();
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Disable the registry. Metric values are left in place so a final
+/// snapshot can still be rendered after the run.
+pub fn disable() {
+    ENABLED.store(false, Ordering::Release);
+}
+
+/// Whether the registry is live (one atomic load — every producer's
+/// entire cost when telemetry is off).
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Acquire)
+}
+
+/// Zero every counter and gauge and clear every histogram series.
+pub fn reset() {
+    for c in COUNTERS {
+        c.reset();
+    }
+    for g in GAUGES {
+        g.reset();
+    }
+    for h in HISTOGRAMS {
+        h.reset();
+    }
+}
+
+#[cfg(test)]
+pub(crate) static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One test exercises the whole lifecycle: the registry is
+    // process-global, so splitting these assertions across #[test] fns
+    // would race under the parallel test runner. Sibling modules that
+    // touch the registry (prom) serialize on TEST_LOCK too.
+    #[test]
+    fn lifecycle() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        reset();
+        assert!(!enabled());
+        assert_eq!(RPC_CALLS.get(), 0);
+
+        RPC_CALLS.inc();
+        RPC_CALLS.add(2);
+        RPC_CALLS.add(0); // no-op by contract
+        assert_eq!(RPC_CALLS.get(), 3);
+
+        HIT_RATE.set(0.75);
+        assert_eq!(HIT_RATE.get(), 0.75);
+
+        STEP_LATENCY.record("train", 1.0e-3);
+        STEP_LATENCY.record("prepare", 2.0e-3);
+        STEP_LATENCY.record("train", 3.0e-3);
+        let series = STEP_LATENCY.series();
+        assert_eq!(series.len(), 2);
+        // Sorted by label for deterministic rendering.
+        assert_eq!(series[0].0, "prepare");
+        assert_eq!(series[1].0, "train");
+        assert_eq!(series[1].1.count(), 2);
+
+        enable();
+        assert!(enabled(), "enable flips the flag");
+        assert_eq!(RPC_CALLS.get(), 0, "enable resets counters");
+        assert_eq!(HIT_RATE.get(), 0.0, "enable resets gauges");
+        assert!(STEP_LATENCY.series().is_empty(), "enable resets histograms");
+
+        RPC_CALLS.add(7);
+        disable();
+        assert!(!enabled());
+        assert_eq!(
+            RPC_CALLS.get(),
+            7,
+            "disable keeps values for a final snapshot"
+        );
+        reset();
+        assert_eq!(RPC_CALLS.get(), 0);
+    }
+
+    #[test]
+    fn metric_names_are_prometheus_style() {
+        for c in COUNTERS {
+            assert!(c.name().starts_with("mgnn_"), "{}", c.name());
+            assert!(c.name().ends_with("_total"), "{}", c.name());
+            assert!(!c.help().is_empty());
+        }
+        for g in GAUGES {
+            assert!(g.name().starts_with("mgnn_"), "{}", g.name());
+            assert!(!g.name().ends_with("_total"), "{}", g.name());
+        }
+        for h in HISTOGRAMS {
+            assert!(h.name().starts_with("mgnn_"), "{}", h.name());
+            assert!(!h.label_key().is_empty());
+        }
+        // Names must be unique across the whole registry.
+        let mut names: Vec<&str> = COUNTERS
+            .iter()
+            .map(|c| c.name())
+            .chain(GAUGES.iter().map(|g| g.name()))
+            .chain(HISTOGRAMS.iter().map(|h| h.name()))
+            .collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len(), "duplicate metric name");
+    }
+}

@@ -183,6 +183,12 @@ pub struct SpanEvent {
     pub rel_start_s: f64,
     /// Duration in seconds.
     pub dur_s: f64,
+    /// Correlation id tying this span to a tagged remote pull
+    /// ([`crate::events::request_id`]); 0 = uncorrelated. Deterministic
+    /// (a pure function of origin/trainer/step), so traced reports stay
+    /// bitwise identical across engines and pool widths. Exports render
+    /// correlated spans as Perfetto flow events.
+    pub corr: u64,
 }
 
 /// Absolute simulated-time anchors of one step's two lanes.
@@ -353,6 +359,19 @@ impl SpanRecorder {
     /// Record one span. Histogram and sum are always updated; the ring
     /// drops its oldest event once full (counted in `dropped`).
     pub fn record(&self, lane: Lane, step: u64, phase: Phase, rel_start_s: f64, dur_s: f64) {
+        self.record_corr(lane, step, phase, rel_start_s, dur_s, 0);
+    }
+
+    /// [`record`](Self::record) with a request-correlation id (0 = none).
+    pub fn record_corr(
+        &self,
+        lane: Lane,
+        step: u64,
+        phase: Phase,
+        rel_start_s: f64,
+        dur_s: f64,
+        corr: u64,
+    ) {
         let mut g = self.inner.lock().unwrap();
         let i = phase.index();
         g.hist[i].record(dur_s);
@@ -367,6 +386,7 @@ impl SpanRecorder {
             lane,
             rel_start_s,
             dur_s,
+            corr,
         });
     }
 
@@ -464,6 +484,7 @@ impl Serialize for SpanEvent {
             ("lane", self.lane.to_value()),
             ("rel_start_s", self.rel_start_s.to_value()),
             ("dur_s", self.dur_s.to_value()),
+            ("corr", self.corr.to_value()),
         ])
     }
 }
@@ -670,6 +691,16 @@ mod tests {
         // Planned spans anchor to the prepare window, like prepare spans.
         let ev = t.events.iter().find(|e| e.lane == Lane::Lookahead).unwrap();
         assert_eq!(t.absolute_start_s(ev), Some(3.0));
+    }
+
+    #[test]
+    fn corr_defaults_to_zero_and_round_trips() {
+        let r = SpanRecorder::for_trainer(0, 0);
+        r.record(Lane::Prepare, 0, Phase::Rpc, 0.0, 1.0e-3);
+        r.record_corr(Lane::Fault, 0, Phase::Fault, 0.0, 2.0e-3, 42);
+        let t = r.snapshot();
+        assert_eq!(t.events[0].corr, 0, "plain record is uncorrelated");
+        assert_eq!(t.events[1].corr, 42);
     }
 
     #[test]
